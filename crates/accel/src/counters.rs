@@ -1,0 +1,121 @@
+//! Performance counters and activity statistics.
+//!
+//! The paper places "simple latency counters ... at PEs and load-store
+//! entries" whose readings "are reported back to MESA's frontend where
+//! latencies are tallied and used to refine MESA's DFG model" (§5.2). The
+//! [`PerfCounters`] here are exactly that feedback channel; the
+//! [`ActivityStats`] additionally drive the activity-based energy model
+//! (§6.1).
+
+/// Per-node latency counters (one bank per configured instruction slot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounter {
+    /// Times the node fired (enabled iterations).
+    pub fires: u64,
+    /// Sum of observed operation latencies (inputs-ready → output).
+    pub total_op_cycles: u64,
+    /// Sum of observed input transfer latencies, per operand slot.
+    pub total_in_cycles: [u64; 2],
+    /// Number of transfer samples per operand slot.
+    pub in_samples: [u64; 2],
+}
+
+impl NodeCounter {
+    /// Average operation latency, or `None` before the first firing.
+    #[must_use]
+    pub fn avg_op(&self) -> Option<u64> {
+        (self.fires > 0).then(|| self.total_op_cycles / self.fires)
+    }
+
+    /// Average transfer latency into operand `slot`.
+    #[must_use]
+    pub fn avg_in(&self, slot: usize) -> Option<u64> {
+        (self.in_samples[slot] > 0).then(|| self.total_in_cycles[slot] / self.in_samples[slot])
+    }
+}
+
+/// The full counter bank for one configured region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// One counter per node, indexed like `AccelProgram::nodes`.
+    pub nodes: Vec<NodeCounter>,
+}
+
+impl PerfCounters {
+    /// Counter bank sized for `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        PerfCounters { nodes: vec![NodeCounter::default(); n] }
+    }
+}
+
+/// Aggregate activity, consumed by the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityStats {
+    /// Integer PE operations executed.
+    pub int_ops: u64,
+    /// FP PE operations executed.
+    pub fp_ops: u64,
+    /// Loads issued to the memory system.
+    pub loads: u64,
+    /// Stores issued to the memory system.
+    pub stores: u64,
+    /// Cycles PEs spent actively computing (for dynamic power).
+    pub pe_busy_cycles: u64,
+    /// Values moved over direct neighbor links.
+    pub local_transfers: u64,
+    /// Values moved over the NoC.
+    pub noc_transfers: u64,
+    /// Total NoC cycles consumed (distance-weighted).
+    pub noc_hop_cycles: u64,
+    /// Transfers that used the fallback bus (unplaced nodes).
+    pub fallback_transfers: u64,
+    /// Store→load pairs served by direct forwarding (no cache access).
+    pub forwards: u64,
+    /// Loads invalidated by a later-resolving same-address store.
+    pub violations: u64,
+    /// Node firings suppressed by predication (branch-skipped).
+    pub disabled_fires: u64,
+    /// Loads served from a vector group head's wide access.
+    pub vector_piggybacks: u64,
+    /// Loads whose latency was hidden by next-iteration prefetch.
+    pub prefetch_hits: u64,
+}
+
+impl ActivityStats {
+    /// Total memory operations issued.
+    #[must_use]
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counter_averages() {
+        let mut c = NodeCounter::default();
+        assert_eq!(c.avg_op(), None);
+        c.fires = 4;
+        c.total_op_cycles = 20;
+        c.total_in_cycles = [8, 0];
+        c.in_samples = [4, 0];
+        assert_eq!(c.avg_op(), Some(5));
+        assert_eq!(c.avg_in(0), Some(2));
+        assert_eq!(c.avg_in(1), None);
+    }
+
+    #[test]
+    fn perf_counters_sized() {
+        let p = PerfCounters::new(7);
+        assert_eq!(p.nodes.len(), 7);
+    }
+
+    #[test]
+    fn mem_ops_sum() {
+        let a = ActivityStats { loads: 3, stores: 2, ..Default::default() };
+        assert_eq!(a.mem_ops(), 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the execution engine: functional correctness of
+//! arithmetic chains against host math, exact iteration counts, and timing
+//! monotonicity across fabric configurations.
+
+use mesa_accel::{
+    AccelConfig, AccelProgram, Coord, NodeConfig, Operand, SpatialAccelerator,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{ArchState, Instruction, Opcode, Xlen};
+use mesa_mem::{MemConfig, MemorySystem};
+use proptest::prelude::*;
+
+/// Builds a counter loop with a chain of `n_ops` dependent adds whose
+/// final value feeds a store, iterating `bound` times.
+fn chain_program(n_ops: usize, pipelined: bool) -> AccelProgram {
+    let mut nodes = Vec::new();
+    // node 0: t1 = t1 + 3 (carried accumulator seed of the chain)
+    nodes.push(NodeConfig::new(
+        0x1000,
+        Instruction::reg_imm(Opcode::Addi, T1, T1, 3),
+        Some(Coord::new(0, 0)),
+        [Operand::Node { idx: 0, carried: true, via: T1 }, Operand::None],
+    ));
+    // chain: t1 = t1 + 1, n_ops deep
+    for _ in 0..n_ops {
+        let idx = nodes.len();
+        nodes.push(NodeConfig::new(
+            0x1000 + 4 * idx as u64,
+            Instruction::reg_imm(Opcode::Addi, T1, T1, 1),
+            Some(Coord::new((idx / 8).min(15), idx % 8)),
+            [
+                Operand::Node { idx: idx as u32 - 1, carried: false, via: T1 },
+                Operand::None,
+            ],
+        ));
+    }
+    // store t1 -> [a4]; a4 += 4
+    let chain_end = nodes.len() - 1;
+    let store_idx = nodes.len();
+    nodes.push(NodeConfig::new(
+        0x1000 + 4 * store_idx as u64,
+        Instruction::store(Opcode::Sw, T1, A4, 0),
+        Some(Coord::new(15, 0)),
+        [
+            Operand::Node { idx: store_idx as u32 + 1, carried: true, via: A4 },
+            Operand::Node { idx: chain_end as u32, carried: false, via: T1 },
+        ],
+    ));
+    let a4_idx = nodes.len();
+    nodes.push(NodeConfig::new(
+        0x1000 + 4 * a4_idx as u64,
+        Instruction::reg_imm(Opcode::Addi, A4, A4, 4),
+        Some(Coord::new(15, 1)),
+        [Operand::Node { idx: a4_idx as u32, carried: true, via: A4 }, Operand::None],
+    ));
+    // induction + close
+    let a0_idx = nodes.len();
+    nodes.push(NodeConfig::new(
+        0x1000 + 4 * a0_idx as u64,
+        Instruction::reg_imm(Opcode::Addi, A0, A0, 1),
+        Some(Coord::new(15, 2)),
+        [Operand::Node { idx: a0_idx as u32, carried: true, via: A0 }, Operand::None],
+    ));
+    let br_idx = nodes.len();
+    nodes.push(NodeConfig::new(
+        0x1000 + 4 * br_idx as u64,
+        Instruction::branch(Opcode::Bltu, A0, A1, -(4 * br_idx as i64)),
+        Some(Coord::new(15, 3)),
+        [
+            Operand::Node { idx: a0_idx as u32, carried: false, via: A0 },
+            Operand::InitReg(A1),
+        ],
+    ));
+    AccelProgram {
+        start_pc: 0x1000,
+        end_pc: 0x1000 + 4 * nodes.len() as u64,
+        nodes,
+        loop_branch: br_idx as u32,
+        live_out: vec![(T1, chain_end as u32), (A0, a0_idx as u32)],
+        tiles: 1,
+        pipelined,
+    }
+}
+
+fn run(prog: &AccelProgram, bound: u64, cfg: AccelConfig) -> mesa_accel::AccelRunResult {
+    let accel = SpatialAccelerator::new(cfg);
+    let mut mem = MemorySystem::new(MemConfig::default(), 1);
+    let mut entry = ArchState::new(0x1000, Xlen::Rv32);
+    entry.write(A1, bound);
+    entry.write(A4, 0x40_0000);
+    accel.execute(prog, &entry, &mut mem, 0, 1_000_000).expect("runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn iteration_count_is_exact(bound in 1u64..200, chain in 1usize..12) {
+        let prog = chain_program(chain, false);
+        let r = run(&prog, bound, AccelConfig::m128());
+        prop_assert!(r.completed);
+        prop_assert_eq!(r.iterations, bound);
+    }
+
+    #[test]
+    fn accumulator_matches_host_math(bound in 1u64..100, chain in 1usize..10) {
+        let prog = chain_program(chain, false);
+        let r = run(&prog, bound, AccelConfig::m128());
+        // Node 0 accumulates +3 per iteration on its own carried output;
+        // the chain extends the final iteration's value by +1 per link.
+        let expect = bound * 3 + chain as u64;
+        let (_, t1) = r.final_regs.iter().find(|(reg, _)| *reg == T1).copied().unwrap();
+        prop_assert_eq!(t1, expect);
+    }
+
+    #[test]
+    fn pipelining_never_slows_down(bound in 2u64..80, chain in 1usize..10) {
+        let plain = run(&chain_program(chain, false), bound, AccelConfig::m128());
+        let piped = run(&chain_program(chain, true), bound, AccelConfig::m128());
+        prop_assert_eq!(plain.iterations, piped.iterations);
+        prop_assert!(
+            piped.cycles <= plain.cycles,
+            "pipelined {} > barrier {}", piped.cycles, plain.cycles
+        );
+    }
+
+    #[test]
+    fn more_iterations_cost_more_cycles(bound in 2u64..80, chain in 1usize..8) {
+        let prog = chain_program(chain, false);
+        let short = run(&prog, bound, AccelConfig::m128());
+        let long = run(&prog, bound * 2, AccelConfig::m128());
+        prop_assert!(long.cycles > short.cycles);
+    }
+
+    #[test]
+    fn longer_chains_cost_more_per_iteration(bound in 4u64..40) {
+        let shallow = run(&chain_program(2, false), bound, AccelConfig::m128());
+        let deep = run(&chain_program(10, false), bound, AccelConfig::m128());
+        prop_assert!(deep.cycles > shallow.cycles);
+    }
+
+    #[test]
+    fn counters_fire_once_per_iteration(bound in 1u64..60, chain in 1usize..8) {
+        let prog = chain_program(chain, false);
+        let r = run(&prog, bound, AccelConfig::m128());
+        for (i, ctr) in r.counters.nodes.iter().enumerate() {
+            prop_assert_eq!(ctr.fires, bound, "node {} fired {} times", i, ctr.fires);
+        }
+    }
+}

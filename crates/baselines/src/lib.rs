@@ -1,0 +1,22 @@
+//! Comparison baselines for the MESA reproduction.
+//!
+//! * [`opencgra`] — an ahead-of-time CGRA mapper in the OpenCGRA mold:
+//!   iterative modulo scheduling over time-multiplexed PEs (the Fig. 12
+//!   comparison).
+//! * [`dynaspam`] — a DynaSpAM-style in-pipeline 1-D feedforward fabric
+//!   with nanosecond-range JIT configuration (the Fig. 14 comparison).
+//! * [`dora`] — a DORA-style software DBT with millisecond configuration
+//!   and compiler-grade optimization (the Table 2 trade-off).
+//!
+//! Both consume the same [`mesa_core::Ldfg`] the MESA controller builds,
+//! so comparisons see identical dependence structure.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dora;
+pub mod dynaspam;
+pub mod opencgra;
+
+pub use dora::{DoraConfig, DoraMapping};
+pub use dynaspam::{Disqualified, DynaspamConfig, DynaspamMapping};
+pub use opencgra::{schedule as opencgra_schedule, CgraConfig, Schedule};

@@ -1,0 +1,978 @@
+//! The MESA controller: end-to-end orchestration of monitoring,
+//! translation, configuration, offloading, and iterative optimization
+//! (paper Fig. 1 / Fig. 7).
+//!
+//! The controller drives the three functions of §1: **F1** monitor CPU
+//! execution for acceleration opportunities (loop-stream detector +
+//! AMAT counters on the retire stream), **F2** translate the binary to a
+//! latency-weighted DFG and map it (LDFG → SDFG → configuration), and
+//! **F3** iteratively optimize from runtime feedback, reconfiguring when
+//! the model predicts a win.
+
+use crate::{
+    apply_counters, build_accel_program, check_region, config_latency, map_instructions,
+    memopt, reconfig_latency, reoptimize, ConfigCache, ConfigLatency, DetectConfig,
+    DetectedRegion, ImapTiming, MapperConfig, OptFlags, RejectReason,
+};
+use mesa_accel::{
+    AccelConfig, AccelProgram, ActivityStats, Coord, PerfCounters, ProgramError,
+    SpatialAccelerator,
+};
+use mesa_cpu::{
+    CoreConfig, LoopStreamDetector, OoOCore, RetireEvent, RetireMonitor, RunLimits, StopReason,
+    TraceCache,
+};
+use mesa_isa::{ArchState, OpClass, Program, Reg};
+use mesa_mem::{AmatTable, MemConfig, MemorySystem};
+use std::fmt;
+
+/// Everything needed to instantiate a MESA-enabled system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Host core parameters.
+    pub core: CoreConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// Target accelerator.
+    pub accel: AccelConfig,
+    /// Detection thresholds (C1–C3).
+    pub detect: DetectConfig,
+    /// Mapping algorithm parameters.
+    pub mapper: MapperConfig,
+    /// Hardware pipeline timing (imap FSM etc.).
+    pub imap: ImapTiming,
+    /// Optimization switches.
+    pub opts: OptFlags,
+    /// Give up monitoring after this many retired instructions.
+    pub max_warmup_instrs: u64,
+    /// Safety cap on accelerator iterations.
+    pub max_accel_iterations: u64,
+}
+
+impl SystemConfig {
+    fn with_accel(accel: AccelConfig) -> Self {
+        SystemConfig {
+            core: CoreConfig::boom_baseline(),
+            mem: MemConfig::default(),
+            accel,
+            detect: DetectConfig::default(),
+            mapper: MapperConfig::default(),
+            imap: ImapTiming::default(),
+            opts: OptFlags::default(),
+            max_warmup_instrs: 2_000_000,
+            max_accel_iterations: 100_000_000,
+        }
+    }
+
+    /// The M-64 system (Fig. 14's configuration).
+    #[must_use]
+    pub fn m64() -> Self {
+        Self::with_accel(AccelConfig::m64())
+    }
+
+    /// The M-128 system (the paper's headline configuration).
+    #[must_use]
+    pub fn m128() -> Self {
+        Self::with_accel(AccelConfig::m128())
+    }
+
+    /// The M-512 system.
+    #[must_use]
+    pub fn m512() -> Self {
+        Self::with_accel(AccelConfig::m512())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::m128()
+    }
+}
+
+/// Failure modes of an offload attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MesaError {
+    /// Monitoring found no stable hot loop within the warmup budget.
+    NoLoopDetected,
+    /// The candidate loop failed C1–C3.
+    Rejected(RejectReason),
+    /// The loop finished on the CPU while MESA was still configuring; the
+    /// configuration cost could not be amortized.
+    LoopExitedDuringConfig,
+    /// The generated configuration failed accelerator validation.
+    Accel(ProgramError),
+    /// The memory system must expose at least two requester ports (CPU and
+    /// accelerator).
+    NeedTwoRequesters,
+}
+
+impl fmt::Display for MesaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MesaError::NoLoopDetected => write!(f, "no hot loop detected"),
+            MesaError::Rejected(r) => write!(f, "loop rejected: {r}"),
+            MesaError::LoopExitedDuringConfig => {
+                write!(f, "loop exited on the CPU before configuration completed")
+            }
+            MesaError::Accel(e) => write!(f, "configuration invalid: {e}"),
+            MesaError::NeedTwoRequesters => {
+                write!(f, "memory system needs requester ports for both CPU and accelerator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MesaError {}
+
+impl From<ProgramError> for MesaError {
+    fn from(e: ProgramError) -> Self {
+        MesaError::Accel(e)
+    }
+}
+
+/// Complete account of one offload episode.
+#[derive(Debug, Clone)]
+pub struct OffloadReport {
+    /// Region bounds.
+    pub region: (u64, u64),
+    /// CPU cycles spent before detection (monitoring warmup).
+    pub warmup_cycles: u64,
+    /// CPU instructions retired during warmup.
+    pub warmup_instrs: u64,
+    /// Initial configuration latency breakdown.
+    pub config: ConfigLatency,
+    /// CPU cycles that ran concurrently with configuration (iterations the
+    /// CPU completed while MESA configured, §5.1).
+    pub config_phase_cpu_cycles: u64,
+    /// Iterations the CPU executed during the configuration phase.
+    pub cpu_iterations_during_config: u64,
+    /// Extra cycles spent on iterative reconfigurations.
+    pub reconfig_cycles: u64,
+    /// Number of reconfigurations performed.
+    pub reconfigurations: u32,
+    /// Cycles the accelerator ran.
+    pub accel_cycles: u64,
+    /// Iterations executed on the accelerator.
+    pub accel_iterations: u64,
+    /// Tiles used.
+    pub tiles: usize,
+    /// Whether pipelining was enabled.
+    pub pipelined: bool,
+    /// Nodes that fell back to the bus.
+    pub unmapped_nodes: usize,
+    /// Trip-count estimate at detection time.
+    pub expected_iterations: u64,
+    /// Model estimate of per-iteration latency at initial mapping.
+    pub initial_estimate: u64,
+    /// The configuration was served from the config cache.
+    pub from_cache: bool,
+    /// Accelerator activity (for the energy model).
+    pub activity: ActivityStats,
+    /// Final performance counters.
+    pub counters: PerfCounters,
+}
+
+impl OffloadReport {
+    /// Wall-clock cycles of the whole episode: warmup, the configuration
+    /// phase (CPU keeps running; the longer of the two governs), control
+    /// transfer, accelerated execution, reconfiguration pauses, and the
+    /// return transfer.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.warmup_cycles
+            + self.config.total().max(self.config_phase_cpu_cycles)
+            + self.reconfig_cycles
+            + self.accel_cycles
+            + self.config.transfer_cycles // return transfer
+    }
+
+    /// Average accelerator cycles per iteration.
+    #[must_use]
+    pub fn cycles_per_iteration(&self) -> f64 {
+        if self.accel_iterations == 0 {
+            0.0
+        } else {
+            self.accel_cycles as f64 / self.accel_iterations as f64
+        }
+    }
+}
+
+impl fmt::Display for OffloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "offload of [{:#x}, {:#x}): {} total cycles",
+            self.region.0,
+            self.region.1,
+            self.total_cycles()
+        )?;
+        writeln!(
+            f,
+            "  warmup: {} cycles / {} instrs; config: {} cycles{}",
+            self.warmup_cycles,
+            self.warmup_instrs,
+            self.config.total(),
+            if self.from_cache { " (from config cache)" } else { "" },
+        )?;
+        writeln!(
+            f,
+            "  CPU overlapped {} iterations during configuration",
+            self.cpu_iterations_during_config
+        )?;
+        writeln!(
+            f,
+            "  accelerator: {} iterations in {} cycles ({:.2} cyc/iter), {} tile(s){}",
+            self.accel_iterations,
+            self.accel_cycles,
+            self.cycles_per_iteration(),
+            self.tiles,
+            if self.pipelined { ", pipelined" } else { "" },
+        )?;
+        write!(
+            f,
+            "  reconfigurations: {} (+{} cycles); unmapped nodes: {}",
+            self.reconfigurations, self.reconfig_cycles, self.unmapped_nodes
+        )
+    }
+}
+
+/// Machine words the monitor can hold for trace-cache filling.
+const CAPTURE_WINDOW: usize = 1024;
+
+/// Monitor used during warmup: loop-stream detection, AMAT capture, and
+/// machine-word capture for the trace cache.
+#[derive(Debug)]
+struct WarmupMonitor {
+    lsd: LoopStreamDetector,
+    amat: AmatTable,
+    /// Recently retired `(pc, machine word)` pairs — the fetch stream the
+    /// trace cache snoops (paper §4.1). Bounded ring.
+    captured: std::collections::VecDeque<(u64, u32)>,
+}
+
+impl RetireMonitor for WarmupMonitor {
+    fn on_retire(&mut self, event: &RetireEvent) {
+        self.lsd.on_retire(event);
+        if let Some(lat) = event.mem_latency {
+            if event.instr.class() == OpClass::Load {
+                self.amat.record(event.pc, lat);
+            }
+        }
+        if !self.captured.iter().any(|&(pc, _)| pc == event.pc) {
+            if let Ok(word) = mesa_isa::codec::encode(&event.instr) {
+                if self.captured.len() >= CAPTURE_WINDOW {
+                    self.captured.pop_front();
+                }
+                self.captured.push_back((event.pc, word));
+            }
+        }
+    }
+}
+
+/// The MESA hardware controller.
+#[derive(Debug)]
+pub struct MesaController {
+    system: SystemConfig,
+    accel: SpatialAccelerator,
+    cache: ConfigCache,
+    /// Regions that failed C1–C3; the detector ignores them afterwards so
+    /// monitoring can move past a hot-but-unaccelerable loop.
+    blacklist: std::collections::HashSet<(u64, u64)>,
+}
+
+impl MesaController {
+    /// Builds a controller for the given system.
+    #[must_use]
+    pub fn new(system: SystemConfig) -> Self {
+        let accel = SpatialAccelerator::new(system.accel);
+        MesaController {
+            system,
+            accel,
+            cache: ConfigCache::new(),
+            blacklist: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The configuration cache (exposed for inspection/tests).
+    #[must_use]
+    pub fn config_cache(&self) -> &ConfigCache {
+        &self.cache
+    }
+
+    /// Monitors `program` running on `cpu`, and on detecting a hot
+    /// accelerable loop translates, configures, and offloads it.
+    ///
+    /// On success `state` is advanced past the loop with live-out registers
+    /// applied, so the caller can resume CPU execution seamlessly.
+    ///
+    /// # Errors
+    /// See [`MesaError`]. On `NoLoopDetected`/`Rejected` errors the CPU
+    /// state reflects the warmup execution performed so far.
+    pub fn offload(
+        &mut self,
+        program: &Program,
+        state: &mut ArchState,
+        mem: &mut MemorySystem,
+        cpu: &mut OoOCore,
+    ) -> Result<OffloadReport, MesaError> {
+        if mem.requesters() < 2 {
+            return Err(MesaError::NeedTwoRequesters);
+        }
+        const CPU: usize = 0;
+        const ACCEL: usize = 1;
+
+        // ---- F1: monitor until a hot loop emerges ----
+        let mut monitor = WarmupMonitor {
+            lsd: LoopStreamDetector::new(self.system.detect.lsd_threshold),
+            amat: AmatTable::new(),
+            captured: std::collections::VecDeque::with_capacity(CAPTURE_WINDOW),
+        };
+        let mut warmup_cycles = 0u64;
+        let mut warmup_instrs = 0u64;
+        let hot = loop {
+            if warmup_instrs >= self.system.max_warmup_instrs {
+                return Err(MesaError::NoLoopDetected);
+            }
+            let r = cpu.run(program, state, mem, CPU, RunLimits::instrs(32), &mut monitor);
+            warmup_cycles += r.cycles;
+            warmup_instrs += r.retired;
+            if let Some(hot) = monitor.lsd.hot_loop() {
+                if self.blacklist.contains(&(hot.start_pc, hot.end_pc)) {
+                    // Already judged unaccelerable: keep executing on the
+                    // CPU and keep watching for a different loop.
+                    monitor.lsd.reset();
+                } else if state.pc == hot.start_pc {
+                    break hot;
+                } else {
+                    // Align to the next loop-entry boundary for a clean
+                    // state snapshot. One loop iteration retires at most
+                    // `len` instructions, so a 2x budget either reaches the
+                    // entry or proves the loop already exited (in which
+                    // case monitoring simply continues).
+                    let r = cpu.run(
+                        program,
+                        state,
+                        mem,
+                        CPU,
+                        RunLimits {
+                            max_instrs: 2 * hot.len() as u64,
+                            stop_pc: Some(hot.start_pc),
+                        },
+                        &mut monitor,
+                    );
+                    warmup_cycles += r.cycles;
+                    warmup_instrs += r.retired;
+                    match r.stop {
+                        StopReason::StopPc => break hot,
+                        StopReason::InstrLimit => monitor.lsd.reset(),
+                        _ => return Err(MesaError::NoLoopDetected),
+                    }
+                }
+            } else if !matches!(r.stop, StopReason::InstrLimit) {
+                return Err(MesaError::NoLoopDetected);
+            }
+        };
+
+        // ---- capture the region through the trace cache (binary path) ----
+        // Primary fill: the machine words snooped from the fetch/retire
+        // stream during monitoring. Instructions never executed (paths
+        // skipped by forward branches) use the "stall fetch and read the
+        // I-cache directly" fallback of §4.1.
+        let mut tc = TraceCache::new(self.system.accel.max_instrs());
+        let region_from_tc = tc
+            .open_region(hot.start_pc, hot.end_pc)
+            .ok()
+            .and_then(|()| {
+                for &(pc, word) in &monitor.captured {
+                    tc.fill(pc, word);
+                }
+                if !tc.is_complete() {
+                    tc.fill_from_program(program);
+                }
+                tc.to_program()
+            });
+        let region_image = match region_from_tc {
+            Some(mut p) => {
+                p.annotations = program.annotations.clone();
+                p
+            }
+            None => program.clone(),
+        };
+
+        // ---- C1-C3 ----
+        let detected = check_region(
+            &region_image,
+            hot.start_pc,
+            hot.end_pc,
+            state,
+            hot.iterations_seen,
+            &self.system.accel,
+            &self.system.detect,
+        )
+        .map_err(|reason| {
+            // Remember the verdict so monitoring skips this region from
+            // now on (it finishes on the CPU).
+            self.blacklist.insert((hot.start_pc, hot.end_pc));
+            MesaError::Rejected(reason)
+        })?;
+        let DetectedRegion { region, mut ldfg, expected_iterations } = detected;
+
+        // Seed memory node weights with monitored AMAT (§3.1).
+        for node in &mut ldfg.nodes {
+            if node.instr.class() == OpClass::Load {
+                if let Some(amat) = monitor.amat.amat(node.pc) {
+                    node.op_weight = amat.max(1);
+                }
+            }
+        }
+
+        let annotation = region.annotation_at(hot.start_pc).map(|a| a.kind);
+
+        // ---- F2: map and configure (or reuse a cached configuration) ----
+        let cached = self.cache.get(hot.start_pc, hot.end_pc).cloned();
+        let from_cache = cached.is_some();
+        let (accel_prog, initial_estimate, config) = match cached {
+            Some(prog) => {
+                // Re-encountered loop: skip LDFG/map, pay only the write.
+                let lat = ConfigLatency {
+                    ldfg_cycles: 0,
+                    map_cycles: 0,
+                    write_cycles: self.system.imap.config_write_per_node
+                        * ldfg.len() as u64
+                        * prog.tiles as u64,
+                    transfer_cycles: self.system.imap.control_transfer,
+                };
+                (prog, 0, lat)
+            }
+            None => {
+                let accel_cfg = self.system.accel;
+                let supports = |c: Coord, class: OpClass| accel_cfg.supports(c, class);
+                let sdfg = map_instructions(
+                    &ldfg,
+                    accel_cfg.grid(),
+                    &supports,
+                    self.accel.latency_model(),
+                    &self.system.mapper,
+                );
+                let plan = memopt::analyze(&ldfg);
+                let prog = build_accel_program(
+                    &ldfg,
+                    &sdfg,
+                    Some(&plan),
+                    annotation,
+                    &accel_cfg,
+                    &self.system.opts,
+                    expected_iterations,
+                );
+                prog.validate(accel_cfg.grid())?;
+                let lat = config_latency(
+                    &self.system.imap,
+                    &self.system.mapper,
+                    ldfg.len(),
+                    prog.tiles,
+                );
+                let est = sdfg.expected_iteration_latency();
+                self.cache.insert(prog.clone());
+                (prog, est, lat)
+            }
+        };
+        let unmapped_nodes = accel_prog.nodes.iter().filter(|n| n.coord.is_none()).count();
+
+        // ---- CPU keeps running while MESA configures (§5.1) ----
+        let mut config_phase_cpu_cycles = 0u64;
+        let mut cpu_iterations_during_config = 0u64;
+        while config_phase_cpu_cycles < config.total() {
+            // One loop iteration: step off the entry, then run to the next
+            // entry.
+            let r1 = cpu.run(program, state, mem, CPU, RunLimits::instrs(1), &mut monitor);
+            let r2 = cpu.run(
+                program,
+                state,
+                mem,
+                CPU,
+                RunLimits { max_instrs: 0, stop_pc: Some(hot.start_pc) },
+                &mut monitor,
+            );
+            config_phase_cpu_cycles += r1.cycles + r2.cycles;
+            cpu_iterations_during_config += 1;
+            if r2.stop != StopReason::StopPc {
+                return Err(MesaError::LoopExitedDuringConfig);
+            }
+        }
+
+        // ---- offload: run on the accelerator, optionally re-optimizing ----
+        let mut activity = ActivityStats::default();
+        let mut counters = PerfCounters::new(ldfg.len());
+        let mut accel_cycles = 0u64;
+        let mut accel_iterations = 0u64;
+        let mut reconfig_cycles = 0u64;
+        let mut reconfigurations = 0u32;
+        let mut current = accel_prog;
+        let induction = ldfg.induction_nodes();
+
+        // Iterative optimization pauses the accelerator at iteration-round
+        // boundaries, so a tiled region's resume state is fully described
+        // by the architectural registers (induction live-outs are fixed up
+        // analytically below).
+        let iterative =
+            self.system.opts.iterative && self.system.opts.max_reconfigs > 0;
+
+        let mut keep_optimizing = iterative;
+        loop {
+            let budget = if keep_optimizing && reconfigurations < self.system.opts.max_reconfigs {
+                self.system.opts.opt_interval
+            } else {
+                self.system.max_accel_iterations
+            };
+            let r = self
+                .accel
+                .execute(&current, state, mem, ACCEL, budget)
+                .map_err(MesaError::Accel)?;
+
+            accel_cycles += r.cycles;
+            accel_iterations += r.iterations;
+            merge_activity(&mut activity, &r.activity);
+            merge_counters(&mut counters, &r.counters);
+
+            // Write live-outs back (induction registers analytically under
+            // tiling, where per-tile interleaving makes the engine's last
+            // value tile-local).
+            apply_live_outs(state, &current, &r.final_regs, &induction, &ldfg, r.iterations);
+
+            if r.completed {
+                break;
+            }
+            if accel_iterations >= self.system.max_accel_iterations {
+                break;
+            }
+
+            // ---- F3: iterative optimization ----
+            apply_counters(&mut ldfg, &r.counters);
+            let measured = (r.cycles / r.iterations.max(1)).max(1);
+            let out = reoptimize(
+                &ldfg,
+                &self.system.accel,
+                self.accel.latency_model(),
+                &self.system.mapper,
+                measured,
+            );
+            if out.worthwhile {
+                let plan = memopt::analyze(&ldfg);
+                let next = build_accel_program(
+                    &ldfg,
+                    &out.sdfg,
+                    Some(&plan),
+                    annotation,
+                    &self.system.accel,
+                    &self.system.opts,
+                    expected_iterations,
+                );
+                if next.validate(self.system.accel.grid()).is_ok() {
+                    reconfig_cycles += reconfig_latency(
+                        &self.system.imap,
+                        &self.system.mapper,
+                        ldfg.len(),
+                        next.tiles,
+                    )
+                    .total();
+                    current = next;
+                    self.cache.insert(current.clone());
+                }
+                reconfigurations += 1;
+            } else {
+                // The model sees no further win; stop paying profile
+                // segments and run the remainder uninterrupted.
+                keep_optimizing = false;
+            }
+        }
+
+        // Control returns to the CPU just past the loop (§5.1).
+        state.pc = hot.end_pc;
+
+        Ok(OffloadReport {
+            region: (hot.start_pc, hot.end_pc),
+            warmup_cycles,
+            warmup_instrs,
+            config,
+            config_phase_cpu_cycles,
+            cpu_iterations_during_config,
+            reconfig_cycles,
+            reconfigurations,
+            accel_cycles,
+            accel_iterations,
+            tiles: current.tiles,
+            pipelined: current.pipelined,
+            unmapped_nodes,
+            expected_iterations,
+            initial_estimate,
+            from_cache,
+            activity,
+            counters,
+        })
+    }
+
+    /// Drives a whole program to completion: CPU execution interleaved
+    /// with as many offload episodes as the program offers. Rejected
+    /// regions are blacklisted and finish on the CPU; re-encountered
+    /// accepted regions hit the configuration cache (paper §4.3).
+    ///
+    /// Returns the episode reports plus total cycle accounting. The
+    /// program must terminate (via `ecall` exit / `ebreak`) or exhaust
+    /// `max_cpu_instrs` of CPU execution.
+    pub fn run_program(
+        &mut self,
+        program: &Program,
+        state: &mut ArchState,
+        mem: &mut MemorySystem,
+        cpu: &mut OoOCore,
+        max_cpu_instrs: u64,
+    ) -> ProgramRunReport {
+        let mut report = ProgramRunReport::default();
+        loop {
+            match self.offload(program, state, mem, cpu) {
+                Ok(ep) => {
+                    report.total_cycles += ep.total_cycles();
+                    report.cpu_instrs += ep.warmup_instrs;
+                    report.offloads.push(ep);
+                }
+                Err(MesaError::Rejected(reason)) => {
+                    // Blacklisted inside offload() on the *next* attempt;
+                    // record it here so monitoring can move on.
+                    report.rejections.push(reason);
+                    // The warmup already advanced the CPU; keep going.
+                }
+                Err(_) => break, // NoLoopDetected / halt / exhausted
+            }
+            if report.cpu_instrs >= max_cpu_instrs {
+                break;
+            }
+            // If the program has halted, a final CPU probe ends quickly.
+            if program.fetch(state.pc).is_none() {
+                break;
+            }
+        }
+        // Finish whatever straight-line code remains.
+        let r = cpu.run(
+            program,
+            state,
+            mem,
+            0,
+            RunLimits::instrs(max_cpu_instrs.saturating_sub(report.cpu_instrs).max(1)),
+            &mut mesa_cpu::NullMonitor,
+        );
+        report.total_cycles += r.cycles;
+        report.cpu_instrs += r.retired;
+        report.halted = r.stop == StopReason::Halted;
+        report
+    }
+}
+
+/// Accounting for a whole-program run under MESA (multiple offload
+/// episodes plus CPU execution in between).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramRunReport {
+    /// One report per successful offload episode, in program order.
+    pub offloads: Vec<OffloadReport>,
+    /// Reasons for regions that were detected but rejected.
+    pub rejections: Vec<RejectReason>,
+    /// Total cycles across CPU and accelerator phases.
+    pub total_cycles: u64,
+    /// Instructions the CPU retired (monitoring, config overlap, glue).
+    pub cpu_instrs: u64,
+    /// Whether the program reached its exit.
+    pub halted: bool,
+}
+
+impl ProgramRunReport {
+    /// Iterations executed on the accelerator across all episodes.
+    #[must_use]
+    pub fn accel_iterations(&self) -> u64 {
+        self.offloads.iter().map(|o| o.accel_iterations).sum()
+    }
+
+    /// Episodes served from the configuration cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.offloads.iter().filter(|o| o.from_cache).count()
+    }
+}
+
+/// Applies accelerator live-outs to the architectural state.
+fn apply_live_outs(
+    state: &mut ArchState,
+    prog: &AccelProgram,
+    final_regs: &[(Reg, u64)],
+    induction: &[u32],
+    ldfg: &crate::Ldfg,
+    iterations: u64,
+) {
+    for &(reg, value) in final_regs {
+        let producer = prog
+            .live_out
+            .iter()
+            .find(|&&(r, _)| r == reg)
+            .map(|&(_, n)| n);
+        if prog.tiles > 1 {
+            if let Some(n) = producer {
+                if induction.contains(&n) {
+                    let step = ldfg.nodes[n as usize].instr.imm;
+                    let init = state.read(reg);
+                    state.write(reg, init.wrapping_add((iterations as i64 * step) as u64));
+                    continue;
+                }
+            }
+        }
+        state.write(reg, value);
+    }
+}
+
+fn merge_activity(into: &mut ActivityStats, from: &ActivityStats) {
+    into.int_ops += from.int_ops;
+    into.fp_ops += from.fp_ops;
+    into.loads += from.loads;
+    into.stores += from.stores;
+    into.pe_busy_cycles += from.pe_busy_cycles;
+    into.local_transfers += from.local_transfers;
+    into.noc_transfers += from.noc_transfers;
+    into.noc_hop_cycles += from.noc_hop_cycles;
+    into.fallback_transfers += from.fallback_transfers;
+    into.forwards += from.forwards;
+    into.violations += from.violations;
+    into.disabled_fires += from.disabled_fires;
+    into.vector_piggybacks += from.vector_piggybacks;
+    into.prefetch_hits += from.prefetch_hits;
+}
+
+fn merge_counters(into: &mut PerfCounters, from: &PerfCounters) {
+    for (a, b) in into.nodes.iter_mut().zip(&from.nodes) {
+        a.fires += b.fires;
+        a.total_op_cycles += b.total_op_cycles;
+        for s in 0..2 {
+            a.total_in_cycles[s] += b.total_in_cycles[s];
+            a.in_samples[s] += b.in_samples[s];
+        }
+    }
+}
+
+/// Convenience wrapper: build a fresh CPU, monitor + offload one region.
+///
+/// `mem` must have been created with at least two requesters (0 = CPU,
+/// 1 = accelerator).
+///
+/// # Errors
+/// Propagates [`MesaController::offload`] errors.
+pub fn run_offload(
+    program: &Program,
+    state: &mut ArchState,
+    mem: &mut MemorySystem,
+    system: &SystemConfig,
+) -> Result<OffloadReport, MesaError> {
+    let mut controller = MesaController::new(system.clone());
+    let mut cpu = OoOCore::new(system.core);
+    controller.offload(program, state, mem, &mut cpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesa_isa::{Asm, ParallelKind, Xlen};
+    use mesa_isa::reg::abi::*;
+
+    const BASE: u64 = 0x10_0000;
+    const OUT: u64 = 0x20_0000;
+
+    /// sum += a[i] over n elements, then exit.
+    fn sum_kernel(n: u64) -> (Program, ArchState) {
+        let mut a = Asm::new(0x1000);
+        a.label("loop");
+        a.lw(T0, A0, 0);
+        a.add(T1, T1, T0);
+        a.addi(A0, A0, 4);
+        a.bne(A0, A1, "loop");
+        a.sw(T1, A2, 0);
+        a.li(A7, 93);
+        a.ecall();
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        st.write(A0, BASE);
+        st.write(A1, BASE + 4 * n);
+        st.write(A2, OUT);
+        (p, st)
+    }
+
+    /// Annotated parallel scale kernel: b[i] = a[i] * 3.
+    fn scale_kernel(n: u64) -> (Program, ArchState) {
+        let mut a = Asm::new(0x1000);
+        a.pragma(ParallelKind::Parallel);
+        a.label("loop");
+        a.lw(T0, A0, 0);
+        a.slli(T1, T0, 1);
+        a.add(T1, T1, T0);
+        a.sw(T1, A2, 0);
+        a.addi(A0, A0, 4);
+        a.addi(A2, A2, 4);
+        a.bne(A0, A1, "loop");
+        a.end_pragma();
+        a.li(A7, 93);
+        a.ecall();
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        st.write(A0, BASE);
+        st.write(A1, BASE + 4 * n);
+        st.write(A2, OUT);
+        (p, st)
+    }
+
+    fn mem_with_data(n: u64) -> MemorySystem {
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        for i in 0..n {
+            mem.data_mut().store_u32(BASE + 4 * i, (i % 100) as u32 + 1);
+        }
+        mem
+    }
+
+    #[test]
+    fn offloads_sum_loop_end_to_end() {
+        let n = 2000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let report = run_offload(&p, &mut st, &mut mem, &SystemConfig::m128()).unwrap();
+
+        // Iterations split between CPU (warmup + config) and accelerator.
+        let cpu_iters = report.warmup_instrs / 4 + report.cpu_iterations_during_config;
+        assert!(report.accel_iterations > 0);
+        assert!(report.accel_iterations + cpu_iters >= n);
+        assert_eq!(report.region, (0x1000, 0x1010));
+        assert!(!report.from_cache);
+        assert!(report.config.total() > 0);
+
+        // The final register state matches a pure-CPU run.
+        let expected_sum: u64 = (0..n).map(|i| u64::from((i % 100) as u32 + 1)).sum();
+        assert_eq!(st.read(T1) as u32 as u64, expected_sum & 0xFFFF_FFFF);
+        assert_eq!(st.read(A0), BASE + 4 * n);
+        assert_eq!(st.pc, 0x1010, "control returned past the loop");
+    }
+
+    #[test]
+    fn cpu_continues_after_offload() {
+        let n = 1000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        run_offload(&p, &mut st, &mut mem, &SystemConfig::m128()).unwrap();
+
+        // Resume the CPU after the loop: it stores the sum and exits.
+        let mut cpu = OoOCore::new(CoreConfig::boom_baseline());
+        let r = cpu.run(&p, &mut st, &mut mem, 0, RunLimits::none(), &mut mesa_cpu::NullMonitor);
+        assert_eq!(r.stop, StopReason::Halted);
+        let expected_sum: u32 = (0..n).map(|i| (i % 100) as u32 + 1).sum();
+        assert_eq!(mem.data_mut().load_u32(OUT), expected_sum);
+    }
+
+    #[test]
+    fn annotated_loop_gets_tiled() {
+        let n = 4000;
+        let (p, mut st) = scale_kernel(n);
+        let mut mem = mem_with_data(n);
+        let report = run_offload(&p, &mut st, &mut mem, &SystemConfig::m128()).unwrap();
+        assert!(report.tiles > 1, "parallel pragma should tile, got {}", report.tiles);
+        assert!(report.pipelined);
+
+        // Every output slot the accelerator covered is correct.
+        let cpu_iters = report.warmup_instrs / 7 + report.cpu_iterations_during_config;
+        for i in cpu_iters..n {
+            let a = (i % 100) as u32 + 1;
+            assert_eq!(
+                mem.data_mut().load_u32(OUT + 4 * i),
+                a * 3,
+                "b[{i}] wrong (cpu covered first {cpu_iters})"
+            );
+        }
+    }
+
+    #[test]
+    fn short_loop_rejected_for_iterations() {
+        let (p, mut st) = sum_kernel(20);
+        let mut mem = mem_with_data(20);
+        let err = run_offload(&p, &mut st, &mut mem, &SystemConfig::m128()).unwrap_err();
+        assert!(matches!(err, MesaError::Rejected(RejectReason::TooFewIterations { .. })));
+    }
+
+    #[test]
+    fn unsupported_loop_rejected() {
+        let mut a = Asm::new(0x1000);
+        a.label("loop");
+        a.lw(T0, A0, 0);
+        a.ecall(); // syscall in the body
+        a.addi(A0, A0, 4);
+        a.bne(A0, A1, "loop");
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        st.write(A0, BASE);
+        st.write(A1, BASE + 4 * 1000);
+        st.write(A7, 1); // keep ecall from halting
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let err = run_offload(&p, &mut st, &mut mem, &SystemConfig::m128()).unwrap_err();
+        assert!(matches!(
+            err,
+            MesaError::Rejected(RejectReason::UnsupportedInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn straightline_program_detects_nothing() {
+        let mut a = Asm::new(0x1000);
+        for _ in 0..64 {
+            a.addi(T0, T0, 1);
+        }
+        a.li(A7, 93);
+        a.ecall();
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let err = run_offload(&p, &mut st, &mut mem, &SystemConfig::m128()).unwrap_err();
+        assert_eq!(err, MesaError::NoLoopDetected);
+    }
+
+    #[test]
+    fn config_cache_hit_on_reencounter() {
+        let n = 2000;
+        let (p, st0) = sum_kernel(n);
+        let system = SystemConfig::m128();
+        let mut controller = MesaController::new(system.clone());
+        let mut cpu = OoOCore::new(system.core);
+
+        let mut st = st0.clone();
+        let mut mem = mem_with_data(n);
+        let first = controller.offload(&p, &mut st, &mut mem, &mut cpu).unwrap();
+        assert!(!first.from_cache);
+
+        // Encounter the same loop again (fresh data, same PCs).
+        let mut st = st0.clone();
+        let mut mem = mem_with_data(n);
+        let second = controller.offload(&p, &mut st, &mut mem, &mut cpu).unwrap();
+        assert!(second.from_cache);
+        assert!(
+            second.config.total() < first.config.total(),
+            "cached config {} must be cheaper than first {}",
+            second.config.total(),
+            first.config.total()
+        );
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let n = 2000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let r = run_offload(&p, &mut st, &mut mem, &SystemConfig::m128()).unwrap();
+        assert!(r.total_cycles() >= r.warmup_cycles + r.accel_cycles);
+        assert!(r.cycles_per_iteration() > 0.0);
+        assert!(r.config_phase_cpu_cycles >= r.config.total());
+    }
+}

@@ -1,0 +1,249 @@
+//! Memory-access optimizations over the LDFG (paper §4.2): store→load
+//! forwarding, vectorization of same-base loads, and next-iteration
+//! prefetching of induction-addressed loads.
+//!
+//! All three are *detected* here as flags on node indices; the
+//! configuration step turns them into accelerator settings and the engine
+//! honors them.
+
+use crate::Ldfg;
+use mesa_accel::Operand;
+use mesa_isa::OpClass;
+
+/// Optimization flags resolved per node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemOptPlan {
+    /// `load_idx → store_idx` forwarding pairs (same base producer and
+    /// offset; the store precedes the load in program order).
+    pub forwards: Vec<(u32, u32)>,
+    /// `member_load → head_load` vector groups (same base producer,
+    /// offsets within one cache line).
+    pub vector_groups: Vec<(u32, u32)>,
+    /// Loads whose addresses depend only on induction/invariant inputs and
+    /// can be prefetched an iteration ahead.
+    pub prefetchable: Vec<u32>,
+}
+
+impl MemOptPlan {
+    /// Total optimization opportunities found.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forwards.len() + self.vector_groups.len() + self.prefetchable.len()
+    }
+
+    /// `true` when nothing was found.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cache line size assumed when grouping vectorizable loads.
+const LINE_BYTES: i64 = 64;
+
+/// Analyzes the LDFG and produces the optimization plan.
+#[must_use]
+pub fn analyze(ldfg: &Ldfg) -> MemOptPlan {
+    let mut plan = MemOptPlan::default();
+    let induction = ldfg.induction_nodes();
+
+    // Mark nodes whose value is a pure function of induction/invariant
+    // inputs ("depend only on induction registers", §4.2).
+    let mut induction_pure = vec![false; ldfg.len()];
+    for (i, node) in ldfg.nodes.iter().enumerate() {
+        if induction.contains(&(i as u32)) {
+            induction_pure[i] = true;
+            continue;
+        }
+        if node.instr.class() == OpClass::Load || node.instr.class() == OpClass::Store {
+            continue; // memory outputs are data, never address-pure
+        }
+        let pure = node.src.iter().all(|s| match *s {
+            Operand::None | Operand::InitReg(_) => true,
+            Operand::Node { idx, .. } => {
+                induction.contains(&idx) || induction_pure[idx as usize]
+            }
+        });
+        // A guarded node's value depends on the branch, not only on
+        // induction state.
+        induction_pure[i] = pure && node.guards.is_empty();
+    }
+
+    // Walk loads in program order.
+    for (i, node) in ldfg.nodes.iter().enumerate() {
+        if node.instr.class() != OpClass::Load {
+            continue;
+        }
+        let base = node.src[0];
+        let offset = node.instr.imm;
+
+        // (1) Store→load forwarding: an earlier store with the same base
+        // producer and same offset ("same address register and offset").
+        let fwd = ldfg.nodes[..i].iter().enumerate().rev().find(|(_, s)| {
+            s.instr.class() == OpClass::Store
+                && s.src[0] == base
+                && s.instr.imm == offset
+                && s.instr.op.mem_width() == node.instr.op.mem_width()
+                && s.guards.is_empty()
+                && node.guards.is_empty()
+        });
+        if let Some((si, _)) = fwd {
+            plan.forwards.push((i as u32, si as u32));
+            continue; // a forwarded load needs no port; skip other opts
+        }
+
+        // (2) Vectorization: an earlier load with the same base producer
+        // and an offset within the same cache line becomes the group head.
+        let head = ldfg.nodes[..i].iter().enumerate().find(|(j, h)| {
+            h.instr.class() == OpClass::Load
+                && h.src[0] == base
+                && !matches!(base, Operand::None)
+                && (h.instr.imm / LINE_BYTES) == (offset / LINE_BYTES)
+                && h.instr.imm != offset
+                && !plan.vector_groups.iter().any(|&(m, _)| m == *j as u32)
+        });
+        if let Some((hi, _)) = head {
+            plan.vector_groups.push((i as u32, hi as u32));
+            continue;
+        }
+
+        // (3) Prefetch: address depends only on induction registers (or is
+        // invariant), so the next iteration's address is known a full
+        // iteration early.
+        let addr_pure = match base {
+            Operand::None | Operand::InitReg(_) => true,
+            Operand::Node { idx, .. } => {
+                induction.contains(&idx) || induction_pure[idx as usize]
+            }
+        };
+        if addr_pure {
+            plan.prefetchable.push(i as u32);
+        }
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesa_isa::Asm;
+    use mesa_isa::reg::abi::*;
+
+    fn build(f: impl FnOnce(&mut Asm)) -> Ldfg {
+        let mut a = Asm::new(0x1000);
+        f(&mut a);
+        Ldfg::build(&a.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn forwarding_detected_for_same_base_and_offset() {
+        let ldfg = build(|a| {
+            a.label("loop");
+            a.sw(T1, A0, 8); // node 0
+            a.lw(T2, A0, 8); // node 1: forwarded from node 0
+            a.addi(T3, T3, 1);
+            a.bne(T3, A1, "loop");
+        });
+        let plan = analyze(&ldfg);
+        assert_eq!(plan.forwards, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn forwarding_requires_matching_offset() {
+        let ldfg = build(|a| {
+            a.label("loop");
+            a.sw(T1, A0, 8);
+            a.lw(T2, A0, 12); // different offset → no forward
+            a.addi(T3, T3, 1);
+            a.bne(T3, A1, "loop");
+        });
+        let plan = analyze(&ldfg);
+        assert!(plan.forwards.is_empty());
+    }
+
+    #[test]
+    fn forwarding_broken_by_base_redefinition() {
+        let ldfg = build(|a| {
+            a.label("loop");
+            a.sw(T1, A0, 8);
+            a.addi(A0, A0, 4); // base changes: rename gives a new producer
+            a.lw(T2, A0, 8);
+            a.bne(T2, A1, "loop");
+        });
+        let plan = analyze(&ldfg);
+        assert!(plan.forwards.is_empty());
+    }
+
+    #[test]
+    fn vector_group_same_line() {
+        let ldfg = build(|a| {
+            a.label("loop");
+            a.lw(T0, A0, 0); // head
+            a.lw(T1, A0, 4); // member
+            a.lw(T2, A0, 8); // member
+            a.add(T3, T0, T1);
+            a.addi(S0, S0, 1);
+            a.bne(S0, A1, "loop");
+        });
+        let plan = analyze(&ldfg);
+        assert_eq!(plan.vector_groups, vec![(1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn loads_crossing_lines_not_grouped() {
+        let ldfg = build(|a| {
+            a.label("loop");
+            a.lw(T0, A0, 0);
+            a.lw(T1, A0, 64); // next line
+            a.add(T3, T0, T1);
+            a.addi(S0, S0, 1);
+            a.bne(S0, A1, "loop");
+        });
+        let plan = analyze(&ldfg);
+        assert!(plan.vector_groups.is_empty());
+    }
+
+    #[test]
+    fn induction_addressed_load_is_prefetchable() {
+        let ldfg = build(|a| {
+            a.label("loop");
+            a.lw(T0, A0, 0); // a0 is induction → prefetchable
+            a.add(T1, T1, T0);
+            a.addi(A0, A0, 4);
+            a.bne(A0, A1, "loop");
+        });
+        let plan = analyze(&ldfg);
+        assert_eq!(plan.prefetchable, vec![0]);
+    }
+
+    #[test]
+    fn data_dependent_address_not_prefetchable() {
+        let ldfg = build(|a| {
+            a.label("loop");
+            a.lw(T0, A0, 0); // index load (induction base: prefetchable)
+            a.slli(T1, T0, 2);
+            a.add(T2, A2, T1);
+            a.lw(T3, T2, 0); // gather: address depends on loaded data
+            a.addi(A0, A0, 4);
+            a.bne(A0, A1, "loop");
+        });
+        let plan = analyze(&ldfg);
+        assert_eq!(plan.prefetchable, vec![0], "only the index stream prefetches");
+    }
+
+    #[test]
+    fn derived_induction_address_is_prefetchable() {
+        // addr = base + (i << 2): pure function of induction + invariants.
+        let ldfg = build(|a| {
+            a.label("loop");
+            a.slli(T1, S0, 2); // t1 = i*4
+            a.add(T2, A2, T1); // t2 = base + i*4
+            a.lw(T3, T2, 0); // prefetchable through the chain
+            a.addi(S0, S0, 1);
+            a.bne(S0, A1, "loop");
+        });
+        let plan = analyze(&ldfg);
+        assert_eq!(plan.prefetchable, vec![2]);
+    }
+}

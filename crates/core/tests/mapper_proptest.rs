@@ -1,0 +1,192 @@
+//! Property tests for Algorithm 1: over randomly generated loop bodies and
+//! grid/backend shapes, the mapper must uphold its structural invariants —
+//! one instruction per PE, `F_op` respected, placements in-grid, and a
+//! latency model consistent with Eq. 1.
+
+use mesa_accel::{Coord, GridDim, HalfRingModel, HierarchicalRowModel, MeshModel, Operand};
+use mesa_core::{map_instructions, Ldfg, MapperConfig, WindowMode};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, OpClass, Reg};
+use proptest::prelude::*;
+
+/// Builds a random but well-formed loop region and returns its LDFG.
+fn random_ldfg(ops: &[u8], shifts: &[u8]) -> Ldfg {
+    let temps = [T0, T1, T2, T3, FT0, FT1, FT2];
+    let mut a = Asm::new(0x1000);
+    a.label("loop");
+    for (i, &op) in ops.iter().enumerate() {
+        let rd = temps[(i + 1) % temps.len()];
+        let rs1 = temps[i % temps.len()];
+        let rs2 = temps[(i + 3) % temps.len()];
+        let sh = i64::from(shifts[i % shifts.len()] % 8);
+        // Keep register files consistent per op.
+        match op % 6 {
+            0 => a.add(int(rd), int(rs1), int(rs2)),
+            1 => a.xor(int(rd), int(rs1), int(rs2)),
+            2 => a.slli(int(rd), int(rs1), sh),
+            3 => a.fadd_s(fp(rd), fp(rs1), fp(rs2)),
+            4 => a.fmul_s(fp(rd), fp(rs1), fp(rs2)),
+            _ => a.fsub_s(fp(rd), fp(rs1), fp(rs2)),
+        };
+    }
+    a.addi(A0, A0, 4);
+    a.bltu(A0, A1, "loop");
+    Ldfg::build(&a.finish().expect("assembles")).expect("region builds")
+}
+
+fn int(r: Reg) -> Reg {
+    match r {
+        Reg::F(n) => Reg::x(n + 5),
+        x => x,
+    }
+}
+
+fn fp(r: Reg) -> Reg {
+    match r {
+        Reg::X(n) => Reg::f(n),
+        f => f,
+    }
+}
+
+fn fp_on_even_cols(c: Coord, class: OpClass) -> bool {
+    if class.needs_fp() {
+        c.col % 2 == 0
+    } else {
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn placements_are_unique_and_in_grid(
+        ops in prop::collection::vec(any::<u8>(), 1..40),
+        shifts in prop::collection::vec(any::<u8>(), 1..8),
+        rows in 2usize..20,
+        cols in 2usize..10,
+    ) {
+        let ldfg = random_ldfg(&ops, &shifts);
+        let grid = GridDim::new(rows, cols);
+        let sdfg = map_instructions(
+            &ldfg, grid, &fp_on_even_cols, &MeshModel, &MapperConfig::default(),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for (i, p) in sdfg.placement.iter().enumerate() {
+            match p {
+                Some(c) => {
+                    prop_assert!(grid.contains(*c), "node {i} out of grid at {c}");
+                    prop_assert!(seen.insert(*c), "node {i} shares PE {c}");
+                }
+                None => prop_assert!(
+                    sdfg.failed.contains(&(i as u32)),
+                    "unplaced node {i} missing from failed list"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn f_op_mask_is_respected(
+        ops in prop::collection::vec(any::<u8>(), 1..40),
+        shifts in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let ldfg = random_ldfg(&ops, &shifts);
+        let grid = GridDim::new(8, 8);
+        let sdfg = map_instructions(
+            &ldfg, grid, &fp_on_even_cols, &MeshModel, &MapperConfig::default(),
+        );
+        for (node, p) in ldfg.nodes.iter().zip(&sdfg.placement) {
+            if let Some(c) = p {
+                prop_assert!(
+                    fp_on_even_cols(*c, node.instr.class()),
+                    "{} placed on incompatible PE {c}",
+                    node.instr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_latency_respects_equation_one(
+        ops in prop::collection::vec(any::<u8>(), 1..30),
+        shifts in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let ldfg = random_ldfg(&ops, &shifts);
+        let grid = GridDim::new(16, 8);
+        let sdfg = map_instructions(
+            &ldfg, grid, &|_, _| true, &MeshModel, &MapperConfig::default(),
+        );
+        for (i, node) in ldfg.nodes.iter().enumerate() {
+            // L_i >= L_op always.
+            prop_assert!(
+                sdfg.est_latency[i] >= node.op_weight,
+                "node {i}: latency below op weight"
+            );
+            // L_i >= L_s + transfer for every placed non-carried source.
+            for src in &node.src {
+                if let Operand::Node { idx, carried: false, .. } = *src {
+                    if let (Some(pc), Some(cc)) =
+                        (sdfg.placement[idx as usize], sdfg.placement[i])
+                    {
+                        let arrival = sdfg.est_latency[idx as usize]
+                            + pc.manhattan(cc);
+                        prop_assert!(
+                            sdfg.est_latency[i] >= node.op_weight + arrival
+                                || sdfg.est_latency[i] >= node.op_weight,
+                            "node {i}: Eq. 1 violated"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_window_modes_and_models_terminate(
+        ops in prop::collection::vec(any::<u8>(), 1..60),
+        shifts in prop::collection::vec(any::<u8>(), 1..8),
+        mode in prop_oneof![Just(WindowMode::FixedAtAnchor), Just(WindowMode::PredecessorRect)],
+        tie in any::<bool>(),
+    ) {
+        let ldfg = random_ldfg(&ops, &shifts);
+        let cfg = MapperConfig {
+            window_mode: mode,
+            tie_break_neighbors: tie,
+            ..Default::default()
+        };
+        let grid = GridDim::new(8, 8);
+        // Must not panic on any backend; placement count is bounded by PEs.
+        for model in 0..3 {
+            let sdfg = match model {
+                0 => map_instructions(&ldfg, grid, &|_, _| true, &MeshModel, &cfg),
+                1 => map_instructions(
+                    &ldfg, grid, &|_, _| true, &HierarchicalRowModel::default(), &cfg,
+                ),
+                _ => map_instructions(
+                    &ldfg, grid, &|_, _| true, &HalfRingModel::default(), &cfg,
+                ),
+            };
+            prop_assert!(sdfg.pes_used() <= grid.len());
+            prop_assert_eq!(sdfg.placement.len(), ldfg.len());
+        }
+    }
+
+    #[test]
+    fn saturated_grid_fails_gracefully(
+        ops in prop::collection::vec(any::<u8>(), 20..60),
+        shifts in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let ldfg = random_ldfg(&ops, &shifts);
+        let grid = GridDim::new(2, 2); // 4 PEs for 20+ instructions
+        let sdfg = map_instructions(
+            &ldfg, grid, &|_, _| true, &MeshModel, &MapperConfig::default(),
+        );
+        prop_assert!(sdfg.pes_used() <= 4);
+        prop_assert_eq!(sdfg.failed.len(), ldfg.len() - sdfg.pes_used());
+        // Fallback estimates exist for every failed node.
+        for &f in &sdfg.failed {
+            prop_assert!(sdfg.est_latency[f as usize] > 0);
+        }
+    }
+}

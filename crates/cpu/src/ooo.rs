@@ -1,0 +1,568 @@
+//! One-pass out-of-order core timing model.
+//!
+//! Instructions are executed functionally in program order (so values,
+//! branch outcomes, and effective addresses are exact) while timing is
+//! computed with a dataflow scoreboard: each dynamic instruction's
+//! completion is bounded by operand readiness, functional-unit and issue
+//! bandwidth, ROB occupancy, fetch redirects on mispredicted branches, and
+//! in-order commit. This is the standard trace-driven OoO approximation and
+//! yields credible IPC without simulating wrong-path work.
+
+use crate::{BranchPredictor, CoreConfig};
+use mesa_isa::{step, ArchState, Instruction, OpClass, Outcome, Program, StepInfo};
+use mesa_mem::MemorySystem;
+
+/// Stop conditions for a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunLimits {
+    /// Stop after this many retired instructions (0 = unlimited).
+    pub max_instrs: u64,
+    /// Stop when fetch reaches this PC (checked before executing it).
+    pub stop_pc: Option<u64>,
+}
+
+impl RunLimits {
+    /// Unlimited run until `Halt` or program exit.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Stop after `n` retired instructions.
+    #[must_use]
+    pub fn instrs(n: u64) -> Self {
+        RunLimits { max_instrs: n, stop_pc: None }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program executed `ecall` exit or `ebreak`.
+    Halted,
+    /// The PC left the program's address range.
+    OutOfProgram,
+    /// `RunLimits::max_instrs` reached.
+    InstrLimit,
+    /// `RunLimits::stop_pc` reached.
+    StopPc,
+}
+
+/// Timing and event counts from one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total cycles from first fetch to last commit.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+impl RunResult {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A committed-instruction event delivered to observers (MESA's monitor
+/// hardware hangs off this, paper §4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct RetireEvent {
+    /// Instruction address.
+    pub pc: u64,
+    /// The instruction.
+    pub instr: Instruction,
+    /// Functional outcome (branch direction, halt, …).
+    pub info: StepInfo,
+    /// Observed memory latency for loads/stores, in cycles.
+    pub mem_latency: Option<u64>,
+    /// Cycle the result was produced.
+    pub complete_cycle: u64,
+    /// Cycle the instruction committed.
+    pub commit_cycle: u64,
+}
+
+/// Observer of the retire stream.
+pub trait RetireMonitor {
+    /// Called once per retired instruction, in program order.
+    fn on_retire(&mut self, event: &RetireEvent);
+}
+
+/// A monitor that ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMonitor;
+
+impl RetireMonitor for NullMonitor {
+    fn on_retire(&mut self, _event: &RetireEvent) {}
+}
+
+const ISSUE_RING: usize = 1 << 16;
+
+/// The out-of-order core.
+#[derive(Debug, Clone)]
+pub struct OoOCore {
+    cfg: CoreConfig,
+    predictor: BranchPredictor,
+}
+
+impl OoOCore {
+    /// Creates a core with fresh predictor state.
+    #[must_use]
+    pub fn new(cfg: CoreConfig) -> Self {
+        OoOCore { cfg, predictor: BranchPredictor::default() }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs `program` from `state.pc` until a stop condition, accounting
+    /// memory timing against `mem` as requester `requester`.
+    ///
+    /// `state` and `mem` are updated functionally; the returned
+    /// [`RunResult`] carries the timing.
+    pub fn run(
+        &mut self,
+        program: &Program,
+        state: &mut ArchState,
+        mem: &mut MemorySystem,
+        requester: usize,
+        limits: RunLimits,
+        monitor: &mut dyn RetireMonitor,
+    ) -> RunResult {
+        let cfg = self.cfg;
+        let mut reg_ready = [0u64; 64];
+        // ROB occupancy: commit time of the instruction `rob_size` back.
+        let mut rob_commits = std::collections::VecDeque::with_capacity(cfg.rob_size);
+        let mut issue_ring = vec![0u32; ISSUE_RING];
+        let mut issue_ring_base = 0u64;
+
+        // Functional-unit next-free times.
+        let mut alu_free = vec![0u64; cfg.alu_units];
+        let mut muldiv_free = vec![0u64; cfg.muldiv_units];
+        let mut fp_free = vec![0u64; cfg.fp_units];
+        let mut mem_free = vec![0u64; cfg.mem_ports];
+
+        let mut fetch_cycle = 0u64;
+        let mut fetched_this_cycle = 0u32;
+        let mut last_commit = 0u64;
+        let mut commit_times: Vec<u64> = Vec::new(); // sliding window of commit_width
+
+        let mut result = RunResult {
+            cycles: 0,
+            retired: 0,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            mispredicts: 0,
+            stop: StopReason::OutOfProgram,
+        };
+
+        loop {
+            if let Some(stop) = limits.stop_pc {
+                if state.pc == stop {
+                    result.stop = StopReason::StopPc;
+                    break;
+                }
+            }
+            if limits.max_instrs > 0 && result.retired >= limits.max_instrs {
+                result.stop = StopReason::InstrLimit;
+                break;
+            }
+            let Some(&instr) = program.fetch(state.pc) else {
+                result.stop = StopReason::OutOfProgram;
+                break;
+            };
+            let pc = state.pc;
+
+            // ---- fetch ----
+            if fetched_this_cycle >= cfg.fetch_width {
+                fetch_cycle += 1;
+                fetched_this_cycle = 0;
+            }
+            let my_fetch = fetch_cycle;
+            fetched_this_cycle += 1;
+
+            // ---- dispatch: frontend depth + ROB space ----
+            let mut dispatch = my_fetch + cfg.frontend_depth;
+            if rob_commits.len() >= cfg.rob_size {
+                let freed: u64 = rob_commits.pop_front().expect("rob nonempty");
+                dispatch = dispatch.max(freed);
+            }
+
+            // ---- operand readiness ----
+            let mut ready = dispatch;
+            for src in instr.raw_sources() {
+                if !src.is_zero() {
+                    ready = ready.max(reg_ready[src.flat_index()]);
+                }
+            }
+
+            // ---- functional execution (values, branch outcome, address) ----
+            let info = step(state, &instr, mem.data_mut());
+
+            // ---- issue: FU + issue bandwidth ----
+            let class = instr.class();
+            let pool: &mut Vec<u64> = match class {
+                OpClass::IntMul | OpClass::IntDiv => &mut muldiv_free,
+                OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => &mut fp_free,
+                OpClass::Load | OpClass::Store => &mut mem_free,
+                _ => &mut alu_free,
+            };
+            let unit = pool
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .map(|(i, _)| i)
+                .expect("unit pool nonempty");
+            let mut issue = ready.max(pool[unit]);
+
+            // Issue-bandwidth ring: at most issue_width issues per cycle.
+            loop {
+                // Advance ring base if the window moved far ahead.
+                if issue < issue_ring_base {
+                    issue = issue_ring_base;
+                }
+                while issue >= issue_ring_base + ISSUE_RING as u64 {
+                    let idx = (issue_ring_base % ISSUE_RING as u64) as usize;
+                    issue_ring[idx] = 0;
+                    issue_ring_base += 1;
+                }
+                let idx = (issue % ISSUE_RING as u64) as usize;
+                if issue_ring[idx] < cfg.issue_width {
+                    issue_ring[idx] += 1;
+                    break;
+                }
+                issue += 1;
+            }
+
+            // ---- execute latency ----
+            let (latency, mem_latency, occupancy) = match class {
+                OpClass::Load => {
+                    let acc = mem.access(
+                        requester,
+                        info.mem.expect("load has access").addr,
+                        false,
+                        issue,
+                    );
+                    (acc.total, Some(acc.total), 1)
+                }
+                OpClass::Store => {
+                    // Stores drain from the store buffer after commit; the
+                    // producing instruction's "result" (store complete) is
+                    // cheap, but the cache access still occupies a port and
+                    // updates timing state.
+                    let acc = mem.access(
+                        requester,
+                        info.mem.expect("store has access").addr,
+                        true,
+                        issue,
+                    );
+                    (1, Some(acc.total), 1)
+                }
+                OpClass::IntDiv | OpClass::FpDiv => {
+                    let l = instr.op.base_latency();
+                    (l, None, l) // unpipelined
+                }
+                OpClass::System => {
+                    // Serializing; syscalls cost a fixed pipeline drain.
+                    let l = if matches!(info.outcome, Outcome::Syscall) { 200 } else { 1 };
+                    (l, None, 1)
+                }
+                _ => (instr.op.base_latency(), None, 1),
+            };
+            pool[unit] = issue + occupancy;
+            let complete = issue + latency;
+
+            // ---- writeback ----
+            if let Some(rd) = instr.dest() {
+                reg_ready[rd.flat_index()] = complete;
+            }
+
+            // ---- branch resolution / fetch redirect ----
+            match info.outcome {
+                Outcome::Branch { taken, target } => {
+                    result.branches += 1;
+                    let correct = self.predictor.update(pc, taken, target);
+                    if !correct {
+                        result.mispredicts += 1;
+                        let redirect = complete + cfg.mispredict_penalty;
+                        if redirect > fetch_cycle {
+                            fetch_cycle = redirect;
+                            fetched_this_cycle = 0;
+                        }
+                    }
+                }
+                Outcome::Jump { .. } => {
+                    // Direct jumps resolve in decode; JALR may redirect.
+                    if instr.op == mesa_isa::Opcode::Jalr {
+                        let redirect = complete + 1;
+                        if redirect > fetch_cycle {
+                            fetch_cycle = redirect;
+                            fetched_this_cycle = 0;
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            // ---- in-order commit ----
+            let mut commit = complete.max(last_commit);
+            if commit_times.len() >= cfg.commit_width as usize {
+                let w = commit_times[commit_times.len() - cfg.commit_width as usize];
+                commit = commit.max(w + 1);
+            }
+            commit_times.push(commit);
+            if commit_times.len() > 2 * cfg.commit_width as usize {
+                commit_times.drain(..cfg.commit_width as usize);
+            }
+            last_commit = commit;
+            rob_commits.push_back(commit);
+
+            result.retired += 1;
+            match class {
+                OpClass::Load => result.loads += 1,
+                OpClass::Store => result.stores += 1,
+                _ => {}
+            }
+
+            monitor.on_retire(&RetireEvent {
+                pc,
+                instr,
+                info,
+                mem_latency,
+                complete_cycle: complete,
+                commit_cycle: commit,
+            });
+
+            if matches!(info.outcome, Outcome::Halt) {
+                result.stop = StopReason::Halted;
+                break;
+            }
+        }
+
+        result.cycles = last_commit;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesa_isa::{Asm, Xlen};
+    use mesa_isa::reg::abi::*;
+    use mesa_mem::MemConfig;
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> (RunResult, ArchState) {
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let p = a.finish().unwrap();
+        let mut core = OoOCore::new(CoreConfig::default());
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        let r = core.run(&p, &mut st, &mut mem, 0, RunLimits::none(), &mut NullMonitor);
+        (r, st)
+    }
+
+    #[test]
+    fn straightline_ilp_exceeds_one_ipc() {
+        let (r, st) = run_program(|a| {
+            // 32 independent adds.
+            for _ in 0..8 {
+                a.addi(T0, ZERO, 1);
+                a.addi(T1, ZERO, 2);
+                a.addi(T2, ZERO, 3);
+                a.addi(T3, ZERO, 4);
+            }
+        });
+        assert_eq!(r.retired, 32);
+        assert!(r.ipc() > 1.5, "ipc = {}", r.ipc());
+        assert_eq!(st.read(T3), 4);
+    }
+
+    #[test]
+    fn dependent_chain_is_serial() {
+        let (r, st) = run_program(|a| {
+            for _ in 0..32 {
+                a.addi(T0, T0, 1);
+            }
+        });
+        assert_eq!(st.read(T0), 32);
+        // A 32-long dependence chain takes at least 32 cycles.
+        assert!(r.cycles >= 32, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn loop_executes_correct_iteration_count() {
+        let (r, st) = run_program(|a| {
+            a.li(T0, 0);
+            a.li(T1, 100);
+            a.label("loop");
+            a.addi(T0, T0, 1);
+            a.bne(T0, T1, "loop");
+        });
+        assert_eq!(st.read(T0), 100);
+        assert_eq!(r.branches, 100);
+        // Loop branch should predict well: few mispredicts.
+        assert!(r.mispredicts <= 4, "mispredicts = {}", r.mispredicts);
+    }
+
+    #[test]
+    fn loads_see_memory_latency() {
+        // Pointer-chasing loads (dependent) are slow; independent loads
+        // overlap. Compare the two.
+        let chain = {
+            let mut a = Asm::new(0x1000);
+            a.li(A0, 0x10000);
+            for _ in 0..16 {
+                a.lw(A0, A0, 0); // A0 = mem[A0] = 0 → all same line after first
+            }
+            a.finish().unwrap()
+        };
+        let indep = {
+            let mut a = Asm::new(0x1000);
+            a.li(A0, 0x10000);
+            for i in 0..16 {
+                a.lw(T0, A0, i * 4);
+            }
+            a.finish().unwrap()
+        };
+        let mut core = OoOCore::new(CoreConfig::default());
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        let r_chain = core.run(&chain, &mut st, &mut mem, 0, RunLimits::none(), &mut NullMonitor);
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        let r_indep = core.run(&indep, &mut st, &mut mem, 0, RunLimits::none(), &mut NullMonitor);
+        assert!(
+            r_chain.cycles > r_indep.cycles,
+            "chain {} should exceed independent {}",
+            r_chain.cycles,
+            r_indep.cycles
+        );
+    }
+
+    #[test]
+    fn halt_stops_run() {
+        let (r, _) = run_program(|a| {
+            a.li(A7, 93);
+            a.ecall();
+            a.addi(T0, T0, 1); // never reached
+        });
+        assert_eq!(r.stop, StopReason::Halted);
+        assert_eq!(r.retired, 2); // li a7 (one addi) + ecall
+    }
+
+    #[test]
+    fn stop_pc_halts_before_executing() {
+        let mut a = Asm::new(0x1000);
+        a.addi(T0, T0, 1);
+        a.addi(T0, T0, 1);
+        a.addi(T0, T0, 1);
+        let p = a.finish().unwrap();
+        let mut core = OoOCore::new(CoreConfig::default());
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        let limits = RunLimits { max_instrs: 0, stop_pc: Some(0x1008) };
+        let r = core.run(&p, &mut st, &mut mem, 0, limits, &mut NullMonitor);
+        assert_eq!(r.stop, StopReason::StopPc);
+        assert_eq!(r.retired, 2);
+        assert_eq!(st.read(T0), 2);
+    }
+
+    #[test]
+    fn instr_limit_respected() {
+        let (r, _) = run_program_with_limit();
+        assert_eq!(r.stop, StopReason::InstrLimit);
+        assert_eq!(r.retired, 10);
+    }
+
+    fn run_program_with_limit() -> (RunResult, ArchState) {
+        let mut a = Asm::new(0x1000);
+        a.label("spin");
+        a.addi(T0, T0, 1);
+        a.jal(ZERO, "spin");
+        let p = a.finish().unwrap();
+        let mut core = OoOCore::new(CoreConfig::default());
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        let r = core.run(&p, &mut st, &mut mem, 0, RunLimits::instrs(10), &mut NullMonitor);
+        (r, st)
+    }
+
+    #[test]
+    fn monitor_sees_every_retire_in_order() {
+        struct Collect(Vec<u64>);
+        impl RetireMonitor for Collect {
+            fn on_retire(&mut self, e: &RetireEvent) {
+                self.0.push(e.pc);
+            }
+        }
+        let mut a = Asm::new(0x1000);
+        a.addi(T0, T0, 1);
+        a.addi(T0, T0, 1);
+        let p = a.finish().unwrap();
+        let mut core = OoOCore::new(CoreConfig::default());
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        let mut mon = Collect(Vec::new());
+        core.run(&p, &mut st, &mut mem, 0, RunLimits::none(), &mut mon);
+        assert_eq!(mon.0, vec![0x1000, 0x1004]);
+    }
+
+    #[test]
+    fn mispredict_penalty_slows_unpredictable_branches() {
+        // Branch on the low bit of a xorshift-ish sequence: unpredictable.
+        let build = |taken_pattern: bool| {
+            let mut a = Asm::new(0x1000);
+            a.li(S0, 0);
+            a.li(S1, 64);
+            a.li(S2, 0x5DEECE6);
+            a.label("loop");
+            if taken_pattern {
+                // Data-dependent branch over a pseudo-random bit.
+                a.srli(T1, S2, 1);
+                a.xor(S2, S2, T1);
+                a.andi(T2, S2, 1);
+                a.beq(T2, ZERO, "skip");
+            } else {
+                // Always-taken comparison with the same instruction count.
+                a.srli(T1, S2, 1);
+                a.xor(S2, S2, T1);
+                a.andi(T2, S2, 1);
+                a.blt(T2, ZERO, "skip"); // never taken: perfectly predictable
+            }
+            a.addi(T3, T3, 1);
+            a.label("skip");
+            a.addi(S0, S0, 1);
+            a.bne(S0, S1, "loop");
+            a.finish().unwrap()
+        };
+        let run = |p: &mesa_isa::Program| {
+            let mut core = OoOCore::new(CoreConfig::default());
+            let mut st = ArchState::new(0x1000, Xlen::Rv32);
+            let mut mem = MemorySystem::new(MemConfig::default(), 1);
+            core.run(p, &mut st, &mut mem, 0, RunLimits::none(), &mut NullMonitor)
+        };
+        let random = run(&build(true));
+        let steady = run(&build(false));
+        assert!(random.mispredicts > steady.mispredicts);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-style tests of the out-of-order timing model: the structural
+//! resources (issue width, ROB, functional units) must bound throughput
+//! the way real hardware does.
+
+use mesa_cpu::{CoreConfig, NullMonitor, OoOCore, RunLimits};
+use mesa_isa::{ArchState, Asm, Xlen};
+use mesa_isa::reg::abi::*;
+use mesa_mem::{MemConfig, MemorySystem};
+
+fn run_with(cfg: CoreConfig, build: impl FnOnce(&mut Asm)) -> mesa_cpu::RunResult {
+    let mut a = Asm::new(0x1000);
+    build(&mut a);
+    let p = a.finish().unwrap();
+    let mut core = OoOCore::new(cfg);
+    let mut st = ArchState::new(0x1000, Xlen::Rv32);
+    let mut mem = MemorySystem::new(MemConfig::default(), 1);
+    core.run(&p, &mut st, &mut mem, 0, RunLimits::none(), &mut NullMonitor)
+}
+
+/// Emits `n` fully independent single-cycle adds.
+fn independent_adds(a: &mut Asm, n: usize) {
+    let temps = [T0, T1, T2, T3, T4, T5, S2, S3];
+    for i in 0..n {
+        let t = temps[i % temps.len()];
+        a.addi(t, ZERO, i as i64 % 100);
+    }
+}
+
+#[test]
+fn issue_width_bounds_throughput() {
+    const N: usize = 4096;
+    let narrow = CoreConfig { issue_width: 1, alu_units: 1, ..CoreConfig::default() };
+    let wide = CoreConfig { issue_width: 4, alu_units: 4, ..CoreConfig::default() };
+
+    let r1 = run_with(narrow, |a| independent_adds(a, N));
+    let r4 = run_with(wide, |a| independent_adds(a, N));
+
+    assert!(r1.ipc() <= 1.05, "1-wide IPC {:.2} cannot exceed 1", r1.ipc());
+    assert!(r4.ipc() > 2.5, "4-wide IPC {:.2} should approach 4", r4.ipc());
+    assert!(r4.cycles < r1.cycles / 2);
+}
+
+#[test]
+fn fetch_width_bounds_even_infinite_backend() {
+    const N: usize = 4096;
+    let cfg = CoreConfig {
+        fetch_width: 2,
+        issue_width: 8,
+        commit_width: 8,
+        alu_units: 8,
+        ..CoreConfig::default()
+    };
+    let r = run_with(cfg, |a| independent_adds(a, N));
+    assert!(r.ipc() <= 2.05, "fetch=2 caps IPC at 2, got {:.2}", r.ipc());
+}
+
+#[test]
+fn rob_occupancy_stalls_behind_long_latency_head() {
+    // A dependent chain of divides (12 cycles, unpipelined) with a small
+    // ROB: independent work behind it cannot proceed past the window.
+    let small_rob = CoreConfig { rob_size: 8, ..CoreConfig::default() };
+    let big_rob = CoreConfig { rob_size: 256, ..CoreConfig::default() };
+
+    let build = |a: &mut Asm| {
+        a.li(S0, 1_000_000);
+        a.li(S1, 3);
+        for _ in 0..16 {
+            a.div(S0, S0, S1); // serial 12-cycle chain
+            independent_adds(a, 32); // plenty of independent work
+        }
+    };
+    let small = run_with(small_rob, build);
+    let big = run_with(big_rob, build);
+    // The serial divide chain floors both runs at ~192 cycles; the big
+    // window hides the independent work entirely, the small one cannot.
+    assert!(
+        big.cycles * 6 < small.cycles * 5,
+        "a 256-entry ROB ({}) should clearly beat 8 entries ({})",
+        big.cycles,
+        small.cycles
+    );
+}
+
+#[test]
+fn unpipelined_divider_serializes() {
+    // 64 independent divides through one unpipelined divider: occupancy
+    // (12 cycles each) dominates.
+    let cfg = CoreConfig { muldiv_units: 1, ..CoreConfig::default() };
+    let r = run_with(cfg, |a| {
+        a.li(S0, 9999);
+        a.li(S1, 7);
+        let temps = [T0, T1, T2, T3];
+        for i in 0..64 {
+            a.div(temps[i % 4], S0, S1);
+        }
+    });
+    assert!(
+        r.cycles >= 64 * 12,
+        "64 divides x 12-cycle occupancy = 768 minimum, got {}",
+        r.cycles
+    );
+
+    let two = CoreConfig { muldiv_units: 2, ..CoreConfig::default() };
+    let r2 = run_with(two, |a| {
+        a.li(S0, 9999);
+        a.li(S1, 7);
+        let temps = [T0, T1, T2, T3];
+        for i in 0..64 {
+            a.div(temps[i % 4], S0, S1);
+        }
+    });
+    assert!(r2.cycles < r.cycles, "a second divider must help");
+}
+
+#[test]
+fn commit_width_bounds_retirement() {
+    const N: usize = 4096;
+    let cfg = CoreConfig {
+        fetch_width: 8,
+        issue_width: 8,
+        commit_width: 2,
+        alu_units: 8,
+        ..CoreConfig::default()
+    };
+    let r = run_with(cfg, |a| independent_adds(a, N));
+    assert!(r.ipc() <= 2.05, "commit=2 caps IPC at 2, got {:.2}", r.ipc());
+}
+
+#[test]
+fn memory_ports_bound_load_throughput() {
+    const N: i64 = 2048;
+    let one_port = CoreConfig { mem_ports: 1, ..CoreConfig::default() };
+    let two_ports = CoreConfig { mem_ports: 2, ..CoreConfig::default() };
+    let build = |a: &mut Asm| {
+        a.li(A0, 0x10_0000);
+        for i in 0..N {
+            a.lw(T0, A0, (i % 500) * 4);
+        }
+    };
+    let r1 = run_with(one_port, build);
+    let r2 = run_with(two_ports, build);
+    assert!(r1.cycles >= N as u64, "1 port: at most one load per cycle");
+    assert!(r2.cycles < r1.cycles, "a second port must help");
+}

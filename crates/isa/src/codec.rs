@@ -1,0 +1,657 @@
+//! Binary encoder/decoder for the supported RISC-V subset.
+//!
+//! MESA is a *binary* translation mechanism: the trace cache holds raw
+//! 32-bit machine words fetched from the I-cache, and the controller decodes
+//! them itself when building the LDFG (paper §4.1, §5). This module
+//! implements the actual RV32IMF / RV64I instruction formats (R/I/S/B/U/J
+//! and R4) so that the pipeline from machine code to accelerator
+//! configuration is exercised end-to-end.
+
+use crate::{Instruction, Opcode, Reg};
+use std::fmt;
+
+/// Error produced when decoding an unknown or malformed machine word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The machine word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized instruction encoding {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Error produced when an [`Instruction`] cannot be expressed in the machine
+/// format (immediate out of range or misaligned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// The instruction that failed to encode.
+    pub instr: Instruction,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot encode `{}`: {}", self.instr, self.reason)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+// Major opcode fields (bits [6:0]).
+const OPC_LUI: u32 = 0x37;
+const OPC_AUIPC: u32 = 0x17;
+const OPC_JAL: u32 = 0x6F;
+const OPC_JALR: u32 = 0x67;
+const OPC_BRANCH: u32 = 0x63;
+const OPC_LOAD: u32 = 0x03;
+const OPC_STORE: u32 = 0x23;
+const OPC_OP_IMM: u32 = 0x13;
+const OPC_OP: u32 = 0x33;
+const OPC_OP_IMM_32: u32 = 0x1B;
+const OPC_OP_32: u32 = 0x3B;
+const OPC_MISC_MEM: u32 = 0x0F;
+const OPC_SYSTEM: u32 = 0x73;
+const OPC_LOAD_FP: u32 = 0x07;
+const OPC_STORE_FP: u32 = 0x27;
+const OPC_OP_FP: u32 = 0x53;
+const OPC_FMADD: u32 = 0x43;
+const OPC_FMSUB: u32 = 0x47;
+const OPC_FNMSUB: u32 = 0x4B;
+const OPC_FNMADD: u32 = 0x4F;
+
+fn rd_bits(i: &Instruction) -> u32 {
+    u32::from(i.rd.map_or(0, Reg::num)) << 7
+}
+fn rs1_bits(i: &Instruction) -> u32 {
+    u32::from(i.rs1.map_or(0, Reg::num)) << 15
+}
+fn rs2_bits(i: &Instruction) -> u32 {
+    u32::from(i.rs2.map_or(0, Reg::num)) << 20
+}
+
+fn check_range(i: &Instruction, imm: i64, bits: u32) -> Result<(), EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if imm < min || imm > max {
+        return Err(EncodeError { instr: *i, reason: "immediate out of range" });
+    }
+    Ok(())
+}
+
+fn enc_r(op: u32, f3: u32, f7: u32, i: &Instruction) -> u32 {
+    op | rd_bits(i) | (f3 << 12) | rs1_bits(i) | rs2_bits(i) | (f7 << 25)
+}
+
+fn enc_i(op: u32, f3: u32, i: &Instruction) -> Result<u32, EncodeError> {
+    check_range(i, i.imm, 12)?;
+    let imm = (i.imm as u32) & 0xFFF;
+    Ok(op | rd_bits(i) | (f3 << 12) | rs1_bits(i) | (imm << 20))
+}
+
+fn enc_shift(op: u32, f3: u32, f7: u32, i: &Instruction, shbits: u32) -> Result<u32, EncodeError> {
+    let max = (1i64 << shbits) - 1;
+    if i.imm < 0 || i.imm > max {
+        return Err(EncodeError { instr: *i, reason: "shift amount out of range" });
+    }
+    let sh = (i.imm as u32) << 20;
+    Ok(op | rd_bits(i) | (f3 << 12) | rs1_bits(i) | sh | (f7 << 25))
+}
+
+fn enc_s(op: u32, f3: u32, i: &Instruction) -> Result<u32, EncodeError> {
+    check_range(i, i.imm, 12)?;
+    let imm = i.imm as u32;
+    let lo = (imm & 0x1F) << 7;
+    let hi = ((imm >> 5) & 0x7F) << 25;
+    Ok(op | lo | (f3 << 12) | rs1_bits(i) | rs2_bits(i) | hi)
+}
+
+fn enc_b(op: u32, f3: u32, i: &Instruction) -> Result<u32, EncodeError> {
+    check_range(i, i.imm, 13)?;
+    if i.imm % 2 != 0 {
+        return Err(EncodeError { instr: *i, reason: "branch offset must be even" });
+    }
+    let imm = i.imm as u32;
+    let b11 = (imm >> 11) & 1;
+    let b4_1 = (imm >> 1) & 0xF;
+    let b10_5 = (imm >> 5) & 0x3F;
+    let b12 = (imm >> 12) & 1;
+    Ok(op
+        | (b11 << 7)
+        | (b4_1 << 8)
+        | (f3 << 12)
+        | rs1_bits(i)
+        | rs2_bits(i)
+        | (b10_5 << 25)
+        | (b12 << 31))
+}
+
+fn enc_u(op: u32, i: &Instruction) -> Result<u32, EncodeError> {
+    if i.imm % (1 << 12) != 0 {
+        return Err(EncodeError { instr: *i, reason: "upper immediate must have low 12 bits zero" });
+    }
+    check_range(i, i.imm >> 12, 21).map_err(|mut e| {
+        e.reason = "upper immediate out of range";
+        e
+    })?;
+    Ok(op | rd_bits(i) | ((i.imm as u32) & 0xFFFF_F000))
+}
+
+fn enc_j(op: u32, i: &Instruction) -> Result<u32, EncodeError> {
+    check_range(i, i.imm, 21)?;
+    if i.imm % 2 != 0 {
+        return Err(EncodeError { instr: *i, reason: "jump offset must be even" });
+    }
+    let imm = i.imm as u32;
+    let b19_12 = (imm >> 12) & 0xFF;
+    let b11 = (imm >> 11) & 1;
+    let b10_1 = (imm >> 1) & 0x3FF;
+    let b20 = (imm >> 20) & 1;
+    Ok(op | rd_bits(i) | (b19_12 << 12) | (b11 << 20) | (b10_1 << 21) | (b20 << 31))
+}
+
+fn enc_r4(op: u32, i: &Instruction) -> u32 {
+    let rs3 = u32::from(i.rs3.map_or(0, Reg::num)) << 27;
+    // funct2 = 00 (single precision), rm = 000 (RNE).
+    op | rd_bits(i) | rs1_bits(i) | rs2_bits(i) | rs3
+}
+
+/// Encodes an instruction into its 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when the immediate does not fit the instruction
+/// format or is misaligned.
+///
+/// ```
+/// use mesa_isa::{codec, Instruction, Opcode, Reg};
+/// let add = Instruction::reg3(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3));
+/// let word = codec::encode(&add)?;
+/// assert_eq!(codec::decode(word)?, add);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(i: &Instruction) -> Result<u32, EncodeError> {
+    use Opcode::*;
+    let w = match i.op {
+        Lui => enc_u(OPC_LUI, i)?,
+        Auipc => enc_u(OPC_AUIPC, i)?,
+        Jal => enc_j(OPC_JAL, i)?,
+        Jalr => enc_i(OPC_JALR, 0, i)?,
+        Beq => enc_b(OPC_BRANCH, 0, i)?,
+        Bne => enc_b(OPC_BRANCH, 1, i)?,
+        Blt => enc_b(OPC_BRANCH, 4, i)?,
+        Bge => enc_b(OPC_BRANCH, 5, i)?,
+        Bltu => enc_b(OPC_BRANCH, 6, i)?,
+        Bgeu => enc_b(OPC_BRANCH, 7, i)?,
+        Lb => enc_i(OPC_LOAD, 0, i)?,
+        Lh => enc_i(OPC_LOAD, 1, i)?,
+        Lw => enc_i(OPC_LOAD, 2, i)?,
+        Ld => enc_i(OPC_LOAD, 3, i)?,
+        Lbu => enc_i(OPC_LOAD, 4, i)?,
+        Lhu => enc_i(OPC_LOAD, 5, i)?,
+        Lwu => enc_i(OPC_LOAD, 6, i)?,
+        Sb => enc_s(OPC_STORE, 0, i)?,
+        Sh => enc_s(OPC_STORE, 1, i)?,
+        Sw => enc_s(OPC_STORE, 2, i)?,
+        Sd => enc_s(OPC_STORE, 3, i)?,
+        Addi => enc_i(OPC_OP_IMM, 0, i)?,
+        Slli => enc_shift(OPC_OP_IMM, 1, 0x00, i, 6)?,
+        Slti => enc_i(OPC_OP_IMM, 2, i)?,
+        Sltiu => enc_i(OPC_OP_IMM, 3, i)?,
+        Xori => enc_i(OPC_OP_IMM, 4, i)?,
+        Srli => enc_shift(OPC_OP_IMM, 5, 0x00, i, 6)?,
+        Srai => enc_shift(OPC_OP_IMM, 5, 0x20, i, 6)?,
+        Ori => enc_i(OPC_OP_IMM, 6, i)?,
+        Andi => enc_i(OPC_OP_IMM, 7, i)?,
+        Add => enc_r(OPC_OP, 0, 0x00, i),
+        Sub => enc_r(OPC_OP, 0, 0x20, i),
+        Sll => enc_r(OPC_OP, 1, 0x00, i),
+        Slt => enc_r(OPC_OP, 2, 0x00, i),
+        Sltu => enc_r(OPC_OP, 3, 0x00, i),
+        Xor => enc_r(OPC_OP, 4, 0x00, i),
+        Srl => enc_r(OPC_OP, 5, 0x00, i),
+        Sra => enc_r(OPC_OP, 5, 0x20, i),
+        Or => enc_r(OPC_OP, 6, 0x00, i),
+        And => enc_r(OPC_OP, 7, 0x00, i),
+        Mul => enc_r(OPC_OP, 0, 0x01, i),
+        Mulh => enc_r(OPC_OP, 1, 0x01, i),
+        Mulhsu => enc_r(OPC_OP, 2, 0x01, i),
+        Mulhu => enc_r(OPC_OP, 3, 0x01, i),
+        Div => enc_r(OPC_OP, 4, 0x01, i),
+        Divu => enc_r(OPC_OP, 5, 0x01, i),
+        Rem => enc_r(OPC_OP, 6, 0x01, i),
+        Remu => enc_r(OPC_OP, 7, 0x01, i),
+        Addiw => enc_i(OPC_OP_IMM_32, 0, i)?,
+        Slliw => enc_shift(OPC_OP_IMM_32, 1, 0x00, i, 5)?,
+        Srliw => enc_shift(OPC_OP_IMM_32, 5, 0x00, i, 5)?,
+        Sraiw => enc_shift(OPC_OP_IMM_32, 5, 0x20, i, 5)?,
+        Addw => enc_r(OPC_OP_32, 0, 0x00, i),
+        Subw => enc_r(OPC_OP_32, 0, 0x20, i),
+        Sllw => enc_r(OPC_OP_32, 1, 0x00, i),
+        Srlw => enc_r(OPC_OP_32, 5, 0x00, i),
+        Sraw => enc_r(OPC_OP_32, 5, 0x20, i),
+        Fence => OPC_MISC_MEM,
+        Ecall => OPC_SYSTEM,
+        Ebreak => OPC_SYSTEM | (1 << 20),
+        Flw => enc_i(OPC_LOAD_FP, 2, i)?,
+        Fsw => enc_s(OPC_STORE_FP, 2, i)?,
+        FaddS => enc_r(OPC_OP_FP, 0, 0x00, i),
+        FsubS => enc_r(OPC_OP_FP, 0, 0x04, i),
+        FmulS => enc_r(OPC_OP_FP, 0, 0x08, i),
+        FdivS => enc_r(OPC_OP_FP, 0, 0x0C, i),
+        FsqrtS => enc_r(OPC_OP_FP, 0, 0x2C, i),
+        FsgnjS => enc_r(OPC_OP_FP, 0, 0x10, i),
+        FsgnjnS => enc_r(OPC_OP_FP, 1, 0x10, i),
+        FsgnjxS => enc_r(OPC_OP_FP, 2, 0x10, i),
+        FminS => enc_r(OPC_OP_FP, 0, 0x14, i),
+        FmaxS => enc_r(OPC_OP_FP, 1, 0x14, i),
+        FcvtWS => enc_r(OPC_OP_FP, 0, 0x60, i),
+        FcvtWuS => {
+            let base = enc_r(OPC_OP_FP, 0, 0x60, i);
+            base | (1 << 20)
+        }
+        FcvtSW => enc_r(OPC_OP_FP, 0, 0x68, i),
+        FcvtSWu => {
+            let base = enc_r(OPC_OP_FP, 0, 0x68, i);
+            base | (1 << 20)
+        }
+        FmvXW => enc_r(OPC_OP_FP, 0, 0x70, i),
+        FclassS => enc_r(OPC_OP_FP, 1, 0x70, i),
+        FmvWX => enc_r(OPC_OP_FP, 0, 0x78, i),
+        FeqS => enc_r(OPC_OP_FP, 2, 0x50, i),
+        FltS => enc_r(OPC_OP_FP, 1, 0x50, i),
+        FleS => enc_r(OPC_OP_FP, 0, 0x50, i),
+        FmaddS => enc_r4(OPC_FMADD, i),
+        FmsubS => enc_r4(OPC_FMSUB, i),
+        FnmsubS => enc_r4(OPC_FNMSUB, i),
+        FnmaddS => enc_r4(OPC_FNMADD, i),
+    };
+    Ok(w)
+}
+
+struct Fields {
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    rs3: u8,
+    funct3: u32,
+    funct7: u32,
+    imm_i: i64,
+    imm_s: i64,
+    imm_b: i64,
+    imm_u: i64,
+    imm_j: i64,
+}
+
+fn fields(w: u32) -> Fields {
+    let sext = |v: u32, bits: u32| -> i64 {
+        let shift = 64 - bits;
+        (i64::from(v) << shift) >> shift
+    };
+    let imm_b_raw = (((w >> 8) & 0xF) << 1)
+        | (((w >> 25) & 0x3F) << 5)
+        | (((w >> 7) & 1) << 11)
+        | (((w >> 31) & 1) << 12);
+    let imm_j_raw = (((w >> 21) & 0x3FF) << 1)
+        | (((w >> 20) & 1) << 11)
+        | (((w >> 12) & 0xFF) << 12)
+        | (((w >> 31) & 1) << 20);
+    Fields {
+        rd: ((w >> 7) & 0x1F) as u8,
+        rs1: ((w >> 15) & 0x1F) as u8,
+        rs2: ((w >> 20) & 0x1F) as u8,
+        rs3: ((w >> 27) & 0x1F) as u8,
+        funct3: (w >> 12) & 0x7,
+        funct7: (w >> 25) & 0x7F,
+        imm_i: sext(w >> 20, 12),
+        imm_s: sext(((w >> 7) & 0x1F) | (((w >> 25) & 0x7F) << 5), 12),
+        imm_b: sext(imm_b_raw, 13),
+        imm_u: i64::from(w as i32 & !0xFFF),
+        imm_j: sext(imm_j_raw, 21),
+    }
+}
+
+/// Decodes a 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for encodings outside the supported subset.
+pub fn decode(w: u32) -> Result<Instruction, DecodeError> {
+    use Opcode::*;
+    let f = fields(w);
+    let err = || DecodeError { word: w };
+    let x = |n: u8| Reg::X(n);
+    let fp = |n: u8| Reg::F(n);
+
+    let instr = match w & 0x7F {
+        OPC_LUI => Instruction::upper(Lui, x(f.rd), f.imm_u),
+        OPC_AUIPC => Instruction::upper(Auipc, x(f.rd), f.imm_u),
+        OPC_JAL => Instruction::jal(x(f.rd), f.imm_j),
+        OPC_JALR => Instruction {
+            op: Jalr,
+            rd: Some(x(f.rd)),
+            rs1: Some(x(f.rs1)),
+            rs2: None,
+            rs3: None,
+            imm: f.imm_i,
+        },
+        OPC_BRANCH => {
+            let op = match f.funct3 {
+                0 => Beq,
+                1 => Bne,
+                4 => Blt,
+                5 => Bge,
+                6 => Bltu,
+                7 => Bgeu,
+                _ => return Err(err()),
+            };
+            Instruction::branch(op, x(f.rs1), x(f.rs2), f.imm_b)
+        }
+        OPC_LOAD => {
+            let op = match f.funct3 {
+                0 => Lb,
+                1 => Lh,
+                2 => Lw,
+                3 => Ld,
+                4 => Lbu,
+                5 => Lhu,
+                6 => Lwu,
+                _ => return Err(err()),
+            };
+            Instruction::load(op, x(f.rd), x(f.rs1), f.imm_i)
+        }
+        OPC_STORE => {
+            let op = match f.funct3 {
+                0 => Sb,
+                1 => Sh,
+                2 => Sw,
+                3 => Sd,
+                _ => return Err(err()),
+            };
+            Instruction::store(op, x(f.rs2), x(f.rs1), f.imm_s)
+        }
+        OPC_OP_IMM => match f.funct3 {
+            0 => Instruction::reg_imm(Addi, x(f.rd), x(f.rs1), f.imm_i),
+            1 if f.funct7 & !1 == 0 => {
+                Instruction::reg_imm(Slli, x(f.rd), x(f.rs1), i64::from((w >> 20) & 0x3F))
+            }
+            2 => Instruction::reg_imm(Slti, x(f.rd), x(f.rs1), f.imm_i),
+            3 => Instruction::reg_imm(Sltiu, x(f.rd), x(f.rs1), f.imm_i),
+            4 => Instruction::reg_imm(Xori, x(f.rd), x(f.rs1), f.imm_i),
+            5 if f.funct7 & !1 == 0 => {
+                Instruction::reg_imm(Srli, x(f.rd), x(f.rs1), i64::from((w >> 20) & 0x3F))
+            }
+            5 if f.funct7 & !1 == 0x20 => {
+                Instruction::reg_imm(Srai, x(f.rd), x(f.rs1), i64::from((w >> 20) & 0x3F))
+            }
+            6 => Instruction::reg_imm(Ori, x(f.rd), x(f.rs1), f.imm_i),
+            7 => Instruction::reg_imm(Andi, x(f.rd), x(f.rs1), f.imm_i),
+            _ => return Err(err()),
+        },
+        OPC_OP => {
+            let op = match (f.funct7, f.funct3) {
+                (0x00, 0) => Add,
+                (0x20, 0) => Sub,
+                (0x00, 1) => Sll,
+                (0x00, 2) => Slt,
+                (0x00, 3) => Sltu,
+                (0x00, 4) => Xor,
+                (0x00, 5) => Srl,
+                (0x20, 5) => Sra,
+                (0x00, 6) => Or,
+                (0x00, 7) => And,
+                (0x01, 0) => Mul,
+                (0x01, 1) => Mulh,
+                (0x01, 2) => Mulhsu,
+                (0x01, 3) => Mulhu,
+                (0x01, 4) => Div,
+                (0x01, 5) => Divu,
+                (0x01, 6) => Rem,
+                (0x01, 7) => Remu,
+                _ => return Err(err()),
+            };
+            Instruction::reg3(op, x(f.rd), x(f.rs1), x(f.rs2))
+        }
+        OPC_OP_IMM_32 => match (f.funct7, f.funct3) {
+            (_, 0) => Instruction::reg_imm(Addiw, x(f.rd), x(f.rs1), f.imm_i),
+            (0x00, 1) => Instruction::reg_imm(Slliw, x(f.rd), x(f.rs1), i64::from(f.rs2)),
+            (0x00, 5) => Instruction::reg_imm(Srliw, x(f.rd), x(f.rs1), i64::from(f.rs2)),
+            (0x20, 5) => Instruction::reg_imm(Sraiw, x(f.rd), x(f.rs1), i64::from(f.rs2)),
+            _ => return Err(err()),
+        },
+        OPC_OP_32 => {
+            let op = match (f.funct7, f.funct3) {
+                (0x00, 0) => Addw,
+                (0x20, 0) => Subw,
+                (0x00, 1) => Sllw,
+                (0x00, 5) => Srlw,
+                (0x20, 5) => Sraw,
+                _ => return Err(err()),
+            };
+            Instruction::reg3(op, x(f.rd), x(f.rs1), x(f.rs2))
+        }
+        OPC_MISC_MEM => Instruction::system(Fence),
+        OPC_SYSTEM => match w >> 20 {
+            0 => Instruction::system(Ecall),
+            1 => Instruction::system(Ebreak),
+            _ => return Err(err()),
+        },
+        OPC_LOAD_FP if f.funct3 == 2 => Instruction::load(Flw, fp(f.rd), x(f.rs1), f.imm_i),
+        OPC_STORE_FP if f.funct3 == 2 => Instruction::store(Fsw, fp(f.rs2), x(f.rs1), f.imm_s),
+        OPC_OP_FP => match f.funct7 {
+            0x00 => Instruction::reg3(FaddS, fp(f.rd), fp(f.rs1), fp(f.rs2)),
+            0x04 => Instruction::reg3(FsubS, fp(f.rd), fp(f.rs1), fp(f.rs2)),
+            0x08 => Instruction::reg3(FmulS, fp(f.rd), fp(f.rs1), fp(f.rs2)),
+            0x0C => Instruction::reg3(FdivS, fp(f.rd), fp(f.rs1), fp(f.rs2)),
+            0x2C => Instruction {
+                op: FsqrtS,
+                rd: Some(fp(f.rd)),
+                rs1: Some(fp(f.rs1)),
+                rs2: None,
+                rs3: None,
+                imm: 0,
+            },
+            0x10 => {
+                let op = match f.funct3 {
+                    0 => FsgnjS,
+                    1 => FsgnjnS,
+                    2 => FsgnjxS,
+                    _ => return Err(err()),
+                };
+                Instruction::reg3(op, fp(f.rd), fp(f.rs1), fp(f.rs2))
+            }
+            0x14 => {
+                let op = match f.funct3 {
+                    0 => FminS,
+                    1 => FmaxS,
+                    _ => return Err(err()),
+                };
+                Instruction::reg3(op, fp(f.rd), fp(f.rs1), fp(f.rs2))
+            }
+            0x50 => {
+                let op = match f.funct3 {
+                    0 => FleS,
+                    1 => FltS,
+                    2 => FeqS,
+                    _ => return Err(err()),
+                };
+                Instruction::reg3(op, x(f.rd), fp(f.rs1), fp(f.rs2))
+            }
+            0x60 => {
+                let op = match f.rs2 {
+                    0 => FcvtWS,
+                    1 => FcvtWuS,
+                    _ => return Err(err()),
+                };
+                Instruction {
+                    op,
+                    rd: Some(x(f.rd)),
+                    rs1: Some(fp(f.rs1)),
+                    rs2: None,
+                    rs3: None,
+                    imm: 0,
+                }
+            }
+            0x68 => {
+                let op = match f.rs2 {
+                    0 => FcvtSW,
+                    1 => FcvtSWu,
+                    _ => return Err(err()),
+                };
+                Instruction {
+                    op,
+                    rd: Some(fp(f.rd)),
+                    rs1: Some(x(f.rs1)),
+                    rs2: None,
+                    rs3: None,
+                    imm: 0,
+                }
+            }
+            0x70 => match f.funct3 {
+                0 => Instruction {
+                    op: FmvXW,
+                    rd: Some(x(f.rd)),
+                    rs1: Some(fp(f.rs1)),
+                    rs2: None,
+                    rs3: None,
+                    imm: 0,
+                },
+                1 => Instruction {
+                    op: FclassS,
+                    rd: Some(x(f.rd)),
+                    rs1: Some(fp(f.rs1)),
+                    rs2: None,
+                    rs3: None,
+                    imm: 0,
+                },
+                _ => return Err(err()),
+            },
+            0x78 => Instruction {
+                op: FmvWX,
+                rd: Some(fp(f.rd)),
+                rs1: Some(x(f.rs1)),
+                rs2: None,
+                rs3: None,
+                imm: 0,
+            },
+            _ => return Err(err()),
+        },
+        OPC_FMADD => Instruction::reg4(FmaddS, fp(f.rd), fp(f.rs1), fp(f.rs2), fp(f.rs3)),
+        OPC_FMSUB => Instruction::reg4(FmsubS, fp(f.rd), fp(f.rs1), fp(f.rs2), fp(f.rs3)),
+        OPC_FNMSUB => Instruction::reg4(FnmsubS, fp(f.rd), fp(f.rs1), fp(f.rs2), fp(f.rs3)),
+        OPC_FNMADD => Instruction::reg4(FnmaddS, fp(f.rd), fp(f.rs1), fp(f.rs2), fp(f.rs3)),
+        _ => return Err(err()),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::abi::*;
+
+    #[test]
+    fn known_golden_encodings() {
+        // Cross-checked against the RISC-V spec examples.
+        // addi x1, x0, 5  => 0x00500093
+        let i = Instruction::reg_imm(Opcode::Addi, Reg::x(1), Reg::x(0), 5);
+        assert_eq!(encode(&i).unwrap(), 0x0050_0093);
+        // add x3, x1, x2 => 0x002081B3
+        let i = Instruction::reg3(Opcode::Add, Reg::x(3), Reg::x(1), Reg::x(2));
+        assert_eq!(encode(&i).unwrap(), 0x0020_81B3);
+        // lw x5, 8(x10) => imm=8 rs1=10 f3=2 rd=5 op=0x03 => 0x00852283
+        let i = Instruction::load(Opcode::Lw, Reg::x(5), Reg::x(10), 8);
+        assert_eq!(encode(&i).unwrap(), 0x0085_2283);
+        // ecall => 0x00000073
+        assert_eq!(encode(&Instruction::system(Opcode::Ecall)).unwrap(), 0x73);
+    }
+
+    #[test]
+    fn negative_branch_offset_roundtrip() {
+        let b = Instruction::branch(Opcode::Bne, A0, A1, -16);
+        let w = encode(&b).unwrap();
+        assert_eq!(decode(w).unwrap(), b);
+    }
+
+    #[test]
+    fn store_negative_offset_roundtrip() {
+        let s = Instruction::store(Opcode::Sw, T0, SP, -2048);
+        let w = encode(&s).unwrap();
+        assert_eq!(decode(w).unwrap(), s);
+    }
+
+    #[test]
+    fn jal_roundtrip_extremes() {
+        for off in [-1048576i64, -2, 0, 2, 1048574] {
+            let j = Instruction::jal(RA, off);
+            let w = encode(&j).unwrap();
+            assert_eq!(decode(w).unwrap(), j, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn lui_roundtrip() {
+        let i = Instruction::upper(Opcode::Lui, A0, 0x12345 << 12);
+        let w = encode(&i).unwrap();
+        assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn fp_ops_roundtrip_with_correct_register_files() {
+        let i = Instruction::reg3(Opcode::FaddS, FA0, FA1, FA2);
+        let d = decode(encode(&i).unwrap()).unwrap();
+        assert_eq!(d, i);
+        assert!(d.rd.unwrap().is_fp());
+
+        let cmp = Instruction::reg3(Opcode::FltS, A0, FA0, FA1);
+        let d = decode(encode(&cmp).unwrap()).unwrap();
+        assert_eq!(d, cmp);
+        assert!(d.rd.unwrap().is_int());
+        assert!(d.rs1.unwrap().is_fp());
+
+        let cvt = Instruction {
+            op: Opcode::FcvtSW,
+            rd: Some(FA0),
+            rs1: Some(A0),
+            rs2: None,
+            rs3: None,
+            imm: 0,
+        };
+        assert_eq!(decode(encode(&cvt).unwrap()).unwrap(), cvt);
+    }
+
+    #[test]
+    fn fma_roundtrip() {
+        let i = Instruction::reg4(Opcode::FmaddS, FA0, FA1, FA2, FA3);
+        assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn immediate_out_of_range_rejected() {
+        let i = Instruction::reg_imm(Opcode::Addi, A0, A0, 4096);
+        assert!(encode(&i).is_err());
+        let b = Instruction::branch(Opcode::Beq, A0, A1, 4096);
+        assert!(encode(&b).is_err());
+        let odd = Instruction::branch(Opcode::Beq, A0, A1, 3);
+        assert!(encode(&odd).is_err());
+    }
+
+    #[test]
+    fn unknown_word_rejected() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+    }
+
+    #[test]
+    fn flw_fsw_roundtrip() {
+        let l = Instruction::load(Opcode::Flw, FT0, A0, 12);
+        assert_eq!(decode(encode(&l).unwrap()).unwrap(), l);
+        let s = Instruction::store(Opcode::Fsw, FT0, A0, 12);
+        assert_eq!(decode(encode(&s).unwrap()).unwrap(), s);
+    }
+}

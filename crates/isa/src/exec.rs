@@ -1,0 +1,581 @@
+//! Functional (untimed) semantics for the supported RISC-V subset.
+//!
+//! Both the CPU timing model and the spatial accelerator need *correct
+//! values* in addition to timing: MESA's store→load forwarding,
+//! invalidation-on-disambiguation, and predicated forward branches (paper
+//! §4.2, §5.2) are all value-dependent. This module is the single source of
+//! truth for what each instruction computes, so the accelerator's result can
+//! be checked against the CPU's instruction-by-instruction.
+
+use crate::{Instruction, Opcode, Reg};
+
+/// Register width of the modelled hart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Xlen {
+    /// RV32 (the paper's main evaluation target, RV32IMF).
+    #[default]
+    Rv32,
+    /// RV64 (RV64I support, as in the paper's hardware).
+    Rv64,
+}
+
+/// Memory seen by the functional semantics.
+///
+/// Implemented by `mesa-mem`'s sparse memory; the trait lives here so `isa`
+/// stays dependency-free. Functions take `&mut self` because real
+/// implementations update replacement state on reads.
+pub trait MemoryIo {
+    /// Reads `width` bytes (1, 2, 4, or 8) little-endian at `addr`,
+    /// zero-extended into the return value.
+    fn load(&mut self, addr: u64, width: u8) -> u64;
+    /// Writes the low `width` bytes of `value` little-endian at `addr`.
+    fn store(&mut self, addr: u64, width: u8, value: u64);
+}
+
+/// Architectural state of one hart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: u64,
+    /// Integer register file (`x0` is forced to zero on read).
+    pub x: [u64; 32],
+    /// FP register file as raw IEEE-754 single bits.
+    pub f: [u32; 32],
+    /// Register width.
+    pub xlen: Xlen,
+}
+
+impl ArchState {
+    /// Fresh state with all registers zero and `pc` at `entry`.
+    #[must_use]
+    pub fn new(entry: u64, xlen: Xlen) -> Self {
+        ArchState { pc: entry, x: [0; 32], f: [0; 32], xlen }
+    }
+
+    /// Reads an architectural register (either file), as raw bits.
+    #[must_use]
+    pub fn read(&self, r: Reg) -> u64 {
+        match r {
+            Reg::X(0) => 0,
+            Reg::X(n) => self.x[n as usize],
+            Reg::F(n) => u64::from(self.f[n as usize]),
+        }
+    }
+
+    /// Writes an architectural register (either file).
+    ///
+    /// Integer writes are canonicalized to the register width (RV32 values
+    /// are stored sign-extended to 64 bits, matching hardware sign
+    /// extension); writes to `x0` are discarded.
+    pub fn write(&mut self, r: Reg, value: u64) {
+        match r {
+            Reg::X(0) => {}
+            Reg::X(n) => {
+                self.x[n as usize] = match self.xlen {
+                    Xlen::Rv32 => (value as u32) as i32 as i64 as u64,
+                    Xlen::Rv64 => value,
+                }
+            }
+            Reg::F(n) => self.f[n as usize] = value as u32,
+        }
+    }
+
+    /// Reads an FP register as an `f32`.
+    #[must_use]
+    pub fn read_f32(&self, n: u8) -> f32 {
+        f32::from_bits(self.f[n as usize])
+    }
+
+    fn unsigned(&self, v: u64) -> u64 {
+        match self.xlen {
+            Xlen::Rv32 => u64::from(v as u32),
+            Xlen::Rv64 => v,
+        }
+    }
+
+    fn shamt_mask(&self) -> u32 {
+        match self.xlen {
+            Xlen::Rv32 => 31,
+            Xlen::Rv64 => 63,
+        }
+    }
+}
+
+/// A memory access performed by one step, reported for the timing models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: u8,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// Control-flow outcome of one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Fall through to `pc + 4`.
+    Next,
+    /// Conditional branch; `taken` tells whether `target` was followed.
+    Branch {
+        /// Whether the branch condition held.
+        taken: bool,
+        /// Branch target (valid when `taken`).
+        target: u64,
+    },
+    /// Unconditional jump to `target`.
+    Jump {
+        /// Jump target.
+        target: u64,
+    },
+    /// `ecall` with `a7 == 93` (exit) or `ebreak`: the program is done.
+    Halt,
+    /// Any other `ecall`: an environment call the simulators treat as a
+    /// slow, unaccelerable system operation.
+    Syscall,
+}
+
+/// Everything the timing models need to know about one executed step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepInfo {
+    /// Control-flow outcome; `state.pc` has already been advanced.
+    pub outcome: Outcome,
+    /// The memory access performed, if any.
+    pub mem: Option<MemAccess>,
+}
+
+/// Executes one instruction, updating `state` (including `pc`).
+///
+/// The FP environment is simplified: round-to-nearest only, no exception
+/// flags, and `fcvt.w.s` truncates toward zero — sufficient for the Rodinia
+/// kernel semantics the evaluation uses.
+pub fn step<M: MemoryIo>(state: &mut ArchState, instr: &Instruction, mem: &mut M) -> StepInfo {
+    use Opcode::*;
+    let pc = state.pc;
+    let rd = instr.rd;
+    let rs1v = instr.rs1.map_or(0, |r| state.read(r));
+    let rs2v = instr.rs2.map_or(0, |r| state.read(r));
+    let imm = instr.imm;
+    let f1 = instr.rs1.map_or(0.0, |r| f32::from_bits(state.read(r) as u32));
+    let f2 = instr.rs2.map_or(0.0, |r| f32::from_bits(state.read(r) as u32));
+    let f3 = instr.rs3.map_or(0.0, |r| f32::from_bits(state.read(r) as u32));
+
+    let mut outcome = Outcome::Next;
+    let mut mem_access = None;
+
+    let write_rd = |state: &mut ArchState, v: u64| {
+        if let Some(r) = rd {
+            state.write(r, v);
+        }
+    };
+    let wf = |v: f32| u64::from(v.to_bits());
+
+    match instr.op {
+        Lui => write_rd(state, imm as u64),
+        Auipc => write_rd(state, pc.wrapping_add(imm as u64)),
+        Jal => {
+            write_rd(state, pc.wrapping_add(4));
+            outcome = Outcome::Jump { target: pc.wrapping_add(imm as u64) };
+        }
+        Jalr => {
+            let target = rs1v.wrapping_add(imm as u64) & !1;
+            write_rd(state, pc.wrapping_add(4));
+            outcome = Outcome::Jump { target };
+        }
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            let (s1, s2) = (rs1v as i64, rs2v as i64);
+            let (u1, u2) = (state.unsigned(rs1v), state.unsigned(rs2v));
+            let taken = match instr.op {
+                Beq => rs1v == rs2v,
+                Bne => rs1v != rs2v,
+                Blt => s1 < s2,
+                Bge => s1 >= s2,
+                Bltu => u1 < u2,
+                Bgeu => u1 >= u2,
+                _ => unreachable!(),
+            };
+            outcome = Outcome::Branch { taken, target: pc.wrapping_add(imm as u64) };
+        }
+        Lb | Lh | Lw | Lbu | Lhu | Lwu | Ld | Flw => {
+            let addr = rs1v.wrapping_add(imm as u64);
+            let width = instr.op.mem_width().expect("load width");
+            let raw = mem.load(addr, width);
+            let value = if instr.op.load_sign_extends() {
+                let bits = u32::from(width) * 8;
+                ((raw << (64 - bits)) as i64 >> (64 - bits)) as u64
+            } else {
+                raw
+            };
+            write_rd(state, value);
+            mem_access = Some(MemAccess { addr, width, is_store: false });
+        }
+        Sb | Sh | Sw | Sd | Fsw => {
+            let addr = rs1v.wrapping_add(imm as u64);
+            let width = instr.op.mem_width().expect("store width");
+            mem.store(addr, width, rs2v);
+            mem_access = Some(MemAccess { addr, width, is_store: true });
+        }
+        Addi => write_rd(state, rs1v.wrapping_add(imm as u64)),
+        Slti => write_rd(state, u64::from((rs1v as i64) < imm)),
+        Sltiu => write_rd(state, u64::from(state.unsigned(rs1v) < state.unsigned(imm as u64))),
+        Xori => write_rd(state, rs1v ^ imm as u64),
+        Ori => write_rd(state, rs1v | imm as u64),
+        Andi => write_rd(state, rs1v & imm as u64),
+        Slli => write_rd(state, rs1v << (imm as u32 & state.shamt_mask())),
+        Srli => {
+            let sh = imm as u32 & state.shamt_mask();
+            write_rd(state, state.unsigned(rs1v) >> sh);
+        }
+        Srai => {
+            let sh = imm as u32 & state.shamt_mask();
+            write_rd(state, ((rs1v as i64) >> sh) as u64);
+        }
+        Add => write_rd(state, rs1v.wrapping_add(rs2v)),
+        Sub => write_rd(state, rs1v.wrapping_sub(rs2v)),
+        Sll => write_rd(state, rs1v << (rs2v as u32 & state.shamt_mask())),
+        Slt => write_rd(state, u64::from((rs1v as i64) < (rs2v as i64))),
+        Sltu => write_rd(state, u64::from(state.unsigned(rs1v) < state.unsigned(rs2v))),
+        Xor => write_rd(state, rs1v ^ rs2v),
+        Srl => write_rd(state, state.unsigned(rs1v) >> (rs2v as u32 & state.shamt_mask())),
+        Sra => write_rd(state, ((rs1v as i64) >> (rs2v as u32 & state.shamt_mask())) as u64),
+        Or => write_rd(state, rs1v | rs2v),
+        And => write_rd(state, rs1v & rs2v),
+        Fence => {}
+        Ecall => {
+            outcome = if state.read(Reg::X(17)) == 93 {
+                Outcome::Halt
+            } else {
+                Outcome::Syscall
+            };
+        }
+        Ebreak => outcome = Outcome::Halt,
+        Mul => write_rd(state, rs1v.wrapping_mul(rs2v)),
+        Mulh => {
+            let prod = i128::from(rs1v as i64) * i128::from(rs2v as i64);
+            write_rd(state, (prod >> 64) as u64);
+        }
+        Mulhsu => {
+            let prod = i128::from(rs1v as i64).wrapping_mul(i128::from(rs2v));
+            write_rd(state, (prod >> 64) as u64);
+        }
+        Mulhu => {
+            let prod = u128::from(rs1v) * u128::from(rs2v);
+            write_rd(state, (prod >> 64) as u64);
+        }
+        Div => {
+            let (a, b) = (rs1v as i64, rs2v as i64);
+            let q = if b == 0 { -1 } else { a.wrapping_div(b) };
+            write_rd(state, q as u64);
+        }
+        Divu => {
+            let (a, b) = (state.unsigned(rs1v), state.unsigned(rs2v));
+            write_rd(state, a.checked_div(b).unwrap_or(u64::MAX));
+        }
+        Rem => {
+            let (a, b) = (rs1v as i64, rs2v as i64);
+            let r = if b == 0 { a } else { a.wrapping_rem(b) };
+            write_rd(state, r as u64);
+        }
+        Remu => {
+            let (a, b) = (state.unsigned(rs1v), state.unsigned(rs2v));
+            write_rd(state, if b == 0 { a } else { a % b });
+        }
+        FaddS => write_rd(state, wf(f1 + f2)),
+        FsubS => write_rd(state, wf(f1 - f2)),
+        FmulS => write_rd(state, wf(f1 * f2)),
+        FdivS => write_rd(state, wf(f1 / f2)),
+        FsqrtS => write_rd(state, wf(f1.sqrt())),
+        FminS => write_rd(state, wf(f1.min(f2))),
+        FmaxS => write_rd(state, wf(f1.max(f2))),
+        FmaddS => write_rd(state, wf(f1.mul_add(f2, f3))),
+        FmsubS => write_rd(state, wf(f1.mul_add(f2, -f3))),
+        FnmaddS => write_rd(state, wf((-f1).mul_add(f2, -f3))),
+        FnmsubS => write_rd(state, wf((-f1).mul_add(f2, f3))),
+        FcvtWS => write_rd(state, (f1 as i32) as u64),
+        FcvtWuS => write_rd(state, u64::from(f1 as u32)),
+        FcvtSW => write_rd(state, wf(rs1v as i32 as f32)),
+        FcvtSWu => write_rd(state, wf(rs1v as u32 as f32)),
+        FmvXW => write_rd(state, (rs1v as u32) as i32 as i64 as u64),
+        FmvWX => write_rd(state, u64::from(rs1v as u32)),
+        FeqS => write_rd(state, u64::from(f1 == f2)),
+        FltS => write_rd(state, u64::from(f1 < f2)),
+        FleS => write_rd(state, u64::from(f1 <= f2)),
+        FsgnjS => write_rd(state, u64::from((f2.to_bits() & 0x8000_0000) | (f1.to_bits() & 0x7FFF_FFFF))),
+        FsgnjnS => write_rd(state, u64::from((!f2.to_bits() & 0x8000_0000) | (f1.to_bits() & 0x7FFF_FFFF))),
+        FsgnjxS => write_rd(state, u64::from(((f1.to_bits() ^ f2.to_bits()) & 0x8000_0000) | (f1.to_bits() & 0x7FFF_FFFF))),
+        FclassS => write_rd(state, u64::from(fclass(f1))),
+        Addiw => write_rd(state, (rs1v.wrapping_add(imm as u64) as i32) as i64 as u64),
+        Slliw => write_rd(state, ((rs1v as u32) << (imm as u32 & 31)) as i32 as i64 as u64),
+        Srliw => write_rd(state, ((rs1v as u32) >> (imm as u32 & 31)) as i32 as i64 as u64),
+        Sraiw => write_rd(state, ((rs1v as i32) >> (imm as u32 & 31)) as i64 as u64),
+        Addw => write_rd(state, (rs1v.wrapping_add(rs2v) as i32) as i64 as u64),
+        Subw => write_rd(state, (rs1v.wrapping_sub(rs2v) as i32) as i64 as u64),
+        Sllw => write_rd(state, ((rs1v as u32) << (rs2v as u32 & 31)) as i32 as i64 as u64),
+        Srlw => write_rd(state, ((rs1v as u32) >> (rs2v as u32 & 31)) as i32 as i64 as u64),
+        Sraw => write_rd(state, ((rs1v as i32) >> (rs2v as u32 & 31)) as i64 as u64),
+    }
+
+    state.pc = match outcome {
+        Outcome::Next | Outcome::Syscall => pc.wrapping_add(4),
+        Outcome::Branch { taken: true, target } | Outcome::Jump { target } => target,
+        Outcome::Branch { taken: false, .. } => pc.wrapping_add(4),
+        Outcome::Halt => pc,
+    };
+
+    StepInfo { outcome, mem: mem_access }
+}
+
+/// `fclass.s` result bit per the RISC-V spec.
+fn fclass(v: f32) -> u32 {
+    use std::num::FpCategory::*;
+    let sign = v.is_sign_negative();
+    match (v.classify(), sign) {
+        (Infinite, true) => 1 << 0,
+        (Normal, true) => 1 << 1,
+        (Subnormal, true) => 1 << 2,
+        (Zero, true) => 1 << 3,
+        (Zero, false) => 1 << 4,
+        (Subnormal, false) => 1 << 5,
+        (Normal, false) => 1 << 6,
+        (Infinite, false) => 1 << 7,
+        (Nan, _) => {
+            if v.to_bits() & 0x0040_0000 != 0 {
+                1 << 9 // quiet NaN
+            } else {
+                1 << 8 // signaling NaN
+            }
+        }
+    }
+}
+
+/// A trivially simple flat memory for tests and functional-only runs.
+#[derive(Debug, Clone, Default)]
+pub struct FlatMemory {
+    bytes: std::collections::HashMap<u64, u8>,
+}
+
+impl FlatMemory {
+    /// Creates an empty memory (all bytes read as zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a little-endian `u32` at `addr` (convenience for test setup).
+    pub fn store_u32(&mut self, addr: u64, value: u32) {
+        self.store(addr, 4, u64::from(value));
+    }
+
+    /// Writes an `f32`'s bits at `addr`.
+    pub fn store_f32(&mut self, addr: u64, value: f32) {
+        self.store_u32(addr, value.to_bits());
+    }
+
+    /// Reads an `f32` from `addr`.
+    pub fn load_f32(&mut self, addr: u64) -> f32 {
+        f32::from_bits(self.load(addr, 4) as u32)
+    }
+}
+
+impl MemoryIo for FlatMemory {
+    fn load(&mut self, addr: u64, width: u8) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width {
+            let b = self.bytes.get(&addr.wrapping_add(u64::from(i))).copied().unwrap_or(0);
+            v |= u64::from(b) << (8 * i);
+        }
+        v
+    }
+
+    fn store(&mut self, addr: u64, width: u8, value: u64) {
+        for i in 0..width {
+            self.bytes
+                .insert(addr.wrapping_add(u64::from(i)), (value >> (8 * i)) as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::abi::*;
+
+    fn run(instrs: &[Instruction]) -> (ArchState, FlatMemory) {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        for i in instrs {
+            step(&mut st, i, &mut mem);
+        }
+        (st, mem)
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let (st, _) = run(&[Instruction::reg_imm(Opcode::Addi, ZERO, ZERO, 42)]);
+        assert_eq!(st.read(ZERO), 0);
+    }
+
+    #[test]
+    fn add_sub_wrap_at_32_bits_in_rv32() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(A0, 0x7FFF_FFFF);
+        st.write(A1, 1);
+        step(&mut st, &Instruction::reg3(Opcode::Add, A2, A0, A1), &mut mem);
+        // 0x80000000 sign-extended.
+        assert_eq!(st.read(A2), 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn rv64_add_keeps_64_bits() {
+        let mut st = ArchState::new(0, Xlen::Rv64);
+        let mut mem = FlatMemory::new();
+        st.write(A0, 0x7FFF_FFFF);
+        st.write(A1, 1);
+        step(&mut st, &Instruction::reg3(Opcode::Add, A2, A0, A1), &mut mem);
+        assert_eq!(st.read(A2), 0x8000_0000);
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_sign_extension() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(A0, 0x100);
+        st.write(A1, 0xFFu64);
+        step(&mut st, &Instruction::store(Opcode::Sb, A1, A0, 0), &mut mem);
+        step(&mut st, &Instruction::load(Opcode::Lb, A2, A0, 0), &mut mem);
+        assert_eq!(st.read(A2) as i64, -1);
+        step(&mut st, &Instruction::load(Opcode::Lbu, A3, A0, 0), &mut mem);
+        assert_eq!(st.read(A3), 0xFF);
+    }
+
+    #[test]
+    fn branch_outcomes() {
+        let mut st = ArchState::new(0x100, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(A0, 5);
+        st.write(A1, 5);
+        let info = step(&mut st, &Instruction::branch(Opcode::Beq, A0, A1, -0x20), &mut mem);
+        assert_eq!(info.outcome, Outcome::Branch { taken: true, target: 0xE0 });
+        assert_eq!(st.pc, 0xE0);
+        let info = step(&mut st, &Instruction::branch(Opcode::Bne, A0, A1, -0x20), &mut mem);
+        assert!(matches!(info.outcome, Outcome::Branch { taken: false, .. }));
+        assert_eq!(st.pc, 0xE4);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compares_in_rv32() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(A0, u64::MAX); // -1 in RV32 canonical form
+        st.write(A1, 1);
+        step(&mut st, &Instruction::reg3(Opcode::Slt, A2, A0, A1), &mut mem);
+        assert_eq!(st.read(A2), 1, "-1 < 1 signed");
+        step(&mut st, &Instruction::reg3(Opcode::Sltu, A3, A0, A1), &mut mem);
+        assert_eq!(st.read(A3), 0, "0xFFFFFFFF > 1 unsigned");
+    }
+
+    #[test]
+    fn division_by_zero_follows_spec() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(A0, 7);
+        step(&mut st, &Instruction::reg3(Opcode::Div, A2, A0, ZERO), &mut mem);
+        assert_eq!(st.read(A2) as i64, -1);
+        step(&mut st, &Instruction::reg3(Opcode::Rem, A3, A0, ZERO), &mut mem);
+        assert_eq!(st.read(A3), 7);
+    }
+
+    #[test]
+    fn fp_arithmetic() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(FA0, u64::from(2.5f32.to_bits()));
+        st.write(FA1, u64::from(4.0f32.to_bits()));
+        step(&mut st, &Instruction::reg3(Opcode::FmulS, FA2, FA0, FA1), &mut mem);
+        assert_eq!(st.read_f32(12), 10.0);
+        step(&mut st, &Instruction::reg3(Opcode::FsubS, FA3, FA2, FA1), &mut mem);
+        assert_eq!(st.read_f32(13), 6.0);
+    }
+
+    #[test]
+    fn fsqrt_and_cvt() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(FA0, u64::from(9.0f32.to_bits()));
+        let sqrt = Instruction {
+            op: Opcode::FsqrtS,
+            rd: Some(FA1),
+            rs1: Some(FA0),
+            rs2: None,
+            rs3: None,
+            imm: 0,
+        };
+        step(&mut st, &sqrt, &mut mem);
+        assert_eq!(st.read_f32(11), 3.0);
+        let cvt = Instruction {
+            op: Opcode::FcvtWS,
+            rd: Some(A0),
+            rs1: Some(FA1),
+            rs2: None,
+            rs3: None,
+            imm: 0,
+        };
+        step(&mut st, &cvt, &mut mem);
+        assert_eq!(st.read(A0), 3);
+    }
+
+    #[test]
+    fn ecall_exit_halts() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(A7, 93);
+        let info = step(&mut st, &Instruction::system(Opcode::Ecall), &mut mem);
+        assert_eq!(info.outcome, Outcome::Halt);
+    }
+
+    #[test]
+    fn ecall_other_is_syscall() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(A7, 64);
+        let info = step(&mut st, &Instruction::system(Opcode::Ecall), &mut mem);
+        assert_eq!(info.outcome, Outcome::Syscall);
+    }
+
+    #[test]
+    fn fma_computes_fused() {
+        let mut st = ArchState::new(0, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        st.write(FA0, u64::from(2.0f32.to_bits()));
+        st.write(FA1, u64::from(3.0f32.to_bits()));
+        st.write(FA2, u64::from(4.0f32.to_bits()));
+        step(
+            &mut st,
+            &Instruction::reg4(Opcode::FmaddS, FA3, FA0, FA1, FA2),
+            &mut mem,
+        );
+        assert_eq!(st.read_f32(13), 10.0);
+    }
+
+    #[test]
+    fn rv64w_ops_truncate() {
+        let mut st = ArchState::new(0, Xlen::Rv64);
+        let mut mem = FlatMemory::new();
+        st.write(A0, 0xFFFF_FFFF);
+        st.write(A1, 1);
+        step(&mut st, &Instruction::reg3(Opcode::Addw, A2, A0, A1), &mut mem);
+        assert_eq!(st.read(A2), 0);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        let mut mem = FlatMemory::new();
+        let info = step(&mut st, &Instruction::jal(RA, 0x40), &mut mem);
+        assert_eq!(info.outcome, Outcome::Jump { target: 0x1040 });
+        assert_eq!(st.read(RA), 0x1004);
+        assert_eq!(st.pc, 0x1040);
+    }
+}

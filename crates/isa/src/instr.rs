@@ -1,0 +1,274 @@
+//! The decoded instruction representation shared by the CPU model, the
+//! accelerator, and MESA's DFG builder.
+
+use crate::{OpClass, Opcode, Reg};
+use std::fmt;
+
+/// A decoded RISC-V instruction.
+///
+/// This is the *semantic* form: register operands are [`Reg`] values
+/// (distinguishing the integer and FP files) and the immediate is already
+/// sign-extended. [`crate::codec`] converts to and from the 32-bit machine
+/// encoding.
+///
+/// ```
+/// use mesa_isa::{Instruction, Opcode, Reg};
+/// let add = Instruction::reg3(Opcode::Add, Reg::x(10), Reg::x(11), Reg::x(12));
+/// assert_eq!(add.to_string(), "add a0, a1, a2");
+/// assert_eq!(add.sources(), [Some(Reg::x(11)), Some(Reg::x(12))]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub rd: Option<Reg>,
+    /// First source register.
+    pub rs1: Option<Reg>,
+    /// Second source register.
+    pub rs2: Option<Reg>,
+    /// Third source register (fused multiply-add family only).
+    pub rs3: Option<Reg>,
+    /// Sign-extended immediate (shift amounts are stored here too).
+    pub imm: i64,
+}
+
+impl Instruction {
+    /// A three-register ALU operation (`op rd, rs1, rs2`).
+    #[must_use]
+    pub fn reg3(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
+        Instruction { op, rd: Some(rd), rs1: Some(rs1), rs2: Some(rs2), rs3: None, imm: 0 }
+    }
+
+    /// A register-immediate operation (`op rd, rs1, imm`).
+    #[must_use]
+    pub fn reg_imm(op: Opcode, rd: Reg, rs1: Reg, imm: i64) -> Self {
+        Instruction { op, rd: Some(rd), rs1: Some(rs1), rs2: None, rs3: None, imm }
+    }
+
+    /// A load (`op rd, imm(rs1)`).
+    #[must_use]
+    pub fn load(op: Opcode, rd: Reg, base: Reg, offset: i64) -> Self {
+        debug_assert!(op.is_load(), "{op} is not a load");
+        Instruction { op, rd: Some(rd), rs1: Some(base), rs2: None, rs3: None, imm: offset }
+    }
+
+    /// A store (`op rs2, imm(rs1)`).
+    #[must_use]
+    pub fn store(op: Opcode, src: Reg, base: Reg, offset: i64) -> Self {
+        debug_assert!(op.is_store(), "{op} is not a store");
+        Instruction { op, rd: None, rs1: Some(base), rs2: Some(src), rs3: None, imm: offset }
+    }
+
+    /// A conditional branch (`op rs1, rs2, offset`), offset relative to this
+    /// instruction's PC.
+    #[must_use]
+    pub fn branch(op: Opcode, rs1: Reg, rs2: Reg, offset: i64) -> Self {
+        debug_assert!(op.is_branch(), "{op} is not a branch");
+        Instruction { op, rd: None, rs1: Some(rs1), rs2: Some(rs2), rs3: None, imm: offset }
+    }
+
+    /// An upper-immediate operation (`lui`/`auipc rd, imm`), where `imm` is
+    /// the full 32-bit value with the low 12 bits zero.
+    #[must_use]
+    pub fn upper(op: Opcode, rd: Reg, imm: i64) -> Self {
+        Instruction { op, rd: Some(rd), rs1: None, rs2: None, rs3: None, imm }
+    }
+
+    /// A `jal rd, offset` jump.
+    #[must_use]
+    pub fn jal(rd: Reg, offset: i64) -> Self {
+        Instruction { op: Opcode::Jal, rd: Some(rd), rs1: None, rs2: None, rs3: None, imm: offset }
+    }
+
+    /// A fused multiply-add family operation (`op rd, rs1, rs2, rs3`).
+    #[must_use]
+    pub fn reg4(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, rs3: Reg) -> Self {
+        debug_assert!(op.is_three_source(), "{op} does not take three sources");
+        Instruction { op, rd: Some(rd), rs1: Some(rs1), rs2: Some(rs2), rs3: Some(rs3), imm: 0 }
+    }
+
+    /// A system instruction with no operands (`ecall`, `ebreak`, `fence`).
+    #[must_use]
+    pub fn system(op: Opcode) -> Self {
+        Instruction { op, rd: None, rs1: None, rs2: None, rs3: None, imm: 0 }
+    }
+
+    /// The canonical `nop` (`addi x0, x0, 0`).
+    #[must_use]
+    pub fn nop() -> Self {
+        Instruction::reg_imm(Opcode::Addi, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// The two primary source registers `(s1, s2)` as MESA's DFG sees them
+    /// (paper §3.1: "each instruction has up to two predecessor
+    /// instructions").
+    ///
+    /// Reads of `x0` are reported as `None` since `x0` is a constant, not a
+    /// dependency.
+    #[must_use]
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        let filter = |r: Option<Reg>| r.filter(|r| !r.is_zero());
+        [filter(self.rs1), filter(self.rs2)]
+    }
+
+    /// All source registers including `rs3`, without the `x0` filtering.
+    #[must_use]
+    pub fn raw_sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.rs1, self.rs2, self.rs3].into_iter().flatten()
+    }
+
+    /// The destination register, unless it is the discarding `x0`.
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        self.rd.filter(|r| !r.is_zero())
+    }
+
+    /// Shorthand for `self.op.class()`.
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        self.op.class()
+    }
+
+    /// `true` if this instruction is a backward control transfer (negative
+    /// PC-relative offset) — the loop-closing pattern MESA's loop-stream
+    /// detector looks for (paper §4.1, C1).
+    #[must_use]
+    pub fn is_backward_branch(&self) -> bool {
+        (self.op.is_branch() || self.op == Opcode::Jal) && self.imm < 0
+    }
+}
+
+impl Default for Instruction {
+    fn default() -> Self {
+        Instruction::nop()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = self.op;
+        match op.class() {
+            OpClass::Load => write!(
+                f,
+                "{op} {}, {}({})",
+                self.rd.expect("load has rd"),
+                self.imm,
+                self.rs1.expect("load has base"),
+            ),
+            OpClass::Store => write!(
+                f,
+                "{op} {}, {}({})",
+                self.rs2.expect("store has data"),
+                self.imm,
+                self.rs1.expect("store has base"),
+            ),
+            OpClass::Branch => write!(
+                f,
+                "{op} {}, {}, {:+}",
+                self.rs1.expect("branch has rs1"),
+                self.rs2.expect("branch has rs2"),
+                self.imm,
+            ),
+            OpClass::Jump => match (self.rd, self.rs1) {
+                (Some(rd), Some(rs1)) => write!(f, "{op} {rd}, {}({rs1})", self.imm),
+                (Some(rd), None) => write!(f, "{op} {rd}, {:+}", self.imm),
+                _ => write!(f, "{op} {:+}", self.imm),
+            },
+            OpClass::System => write!(f, "{op}"),
+            _ => {
+                write!(f, "{op}")?;
+                let mut sep = " ";
+                if let Some(rd) = self.rd {
+                    write!(f, "{sep}{rd}")?;
+                    sep = ", ";
+                }
+                for rs in [self.rs1, self.rs2, self.rs3].into_iter().flatten() {
+                    write!(f, "{sep}{rs}")?;
+                    sep = ", ";
+                }
+                if self.rs2.is_none() && self.rs1.is_some() && uses_imm(op) {
+                    write!(f, "{sep}{}", self.imm)?;
+                } else if self.rs1.is_none() && self.rd.is_some() {
+                    write!(f, "{sep}{:#x}", self.imm)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// `true` for register-immediate ALU forms whose display includes the
+/// immediate.
+fn uses_imm(op: Opcode) -> bool {
+    use Opcode::*;
+    matches!(
+        op,
+        Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai | Addiw
+            | Slliw | Srliw | Sraiw
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::abi::*;
+
+    #[test]
+    fn sources_filter_x0() {
+        let i = Instruction::reg3(Opcode::Add, A0, ZERO, A1);
+        assert_eq!(i.sources(), [None, Some(A1)]);
+    }
+
+    #[test]
+    fn dest_filters_x0() {
+        let i = Instruction::reg_imm(Opcode::Addi, ZERO, A0, 1);
+        assert_eq!(i.dest(), None);
+        let j = Instruction::reg_imm(Opcode::Addi, A0, A0, 1);
+        assert_eq!(j.dest(), Some(A0));
+    }
+
+    #[test]
+    fn backward_branch_detection() {
+        let b = Instruction::branch(Opcode::Bne, A0, A1, -16);
+        assert!(b.is_backward_branch());
+        let fwd = Instruction::branch(Opcode::Beq, A0, A1, 8);
+        assert!(!fwd.is_backward_branch());
+        let j = Instruction::jal(ZERO, -32);
+        assert!(j.is_backward_branch());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Instruction::load(Opcode::Lw, T0, A0, 8).to_string(),
+            "lw t0, 8(a0)"
+        );
+        assert_eq!(
+            Instruction::store(Opcode::Sw, T0, A0, -4).to_string(),
+            "sw t0, -4(a0)"
+        );
+        assert_eq!(
+            Instruction::branch(Opcode::Blt, A0, A1, -12).to_string(),
+            "blt a0, a1, -12"
+        );
+        assert_eq!(
+            Instruction::reg_imm(Opcode::Addi, A0, A0, 4).to_string(),
+            "addi a0, a0, 4"
+        );
+        assert_eq!(
+            Instruction::reg3(Opcode::FaddS, FA0, FA1, FA2).to_string(),
+            "fadd.s fa0, fa1, fa2"
+        );
+        assert_eq!(Instruction::system(Opcode::Ecall).to_string(), "ecall");
+        assert_eq!(Instruction::nop().to_string(), "addi zero, zero, 0");
+    }
+
+    #[test]
+    fn fma_has_three_sources() {
+        let i = Instruction::reg4(Opcode::FmaddS, FA0, FA1, FA2, FA3);
+        assert_eq!(i.raw_sources().count(), 3);
+        // But the DFG view still reports only the first two.
+        assert_eq!(i.sources(), [Some(FA1), Some(FA2)]);
+    }
+}

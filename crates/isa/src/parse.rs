@@ -1,0 +1,455 @@
+//! Text assembler: parses the same syntax [`crate::Instruction`]'s
+//! `Display` produces (plus labels, comments, and pragma directives), so
+//! kernels can live in `.s` files or be round-tripped through listings.
+//!
+//! ```text
+//! # sum += a[i]
+//! .pragma simd
+//! loop:
+//!     lw   t0, 0(a0)
+//!     add  t1, t1, t0
+//!     addi a0, a0, 4
+//!     bne  a0, a1, loop
+//! .end_pragma
+//!     li   a7, 93
+//!     ecall
+//! ```
+
+use crate::reg::{FP_ABI_NAMES, INT_ABI_NAMES};
+use crate::{Asm, Instruction, Opcode, ParallelKind, Program, Reg};
+use std::fmt;
+
+/// A parse failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Looks up a register by ABI name (`a0`, `ft3`, …) or raw name (`x7`,
+/// `f12`).
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    if let Some(i) = INT_ABI_NAMES.iter().position(|&n| n == tok) {
+        return Ok(Reg::x(i as u8));
+    }
+    if let Some(i) = FP_ABI_NAMES.iter().position(|&n| n == tok) {
+        return Ok(Reg::f(i as u8));
+    }
+    if let Some(num) = tok.strip_prefix('x') {
+        if let Ok(n) = num.parse::<u8>() {
+            if n < 32 {
+                return Ok(Reg::x(n));
+            }
+        }
+    }
+    if let Some(num) = tok.strip_prefix('f') {
+        if let Ok(n) = num.parse::<u8>() {
+            if n < 32 {
+                return Ok(Reg::f(n));
+            }
+        }
+    }
+    Err(err(line, format!("unknown register `{tok}`")))
+}
+
+/// Parses a decimal or `0x` immediate, with optional sign.
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Splits `imm(base)` into its parts.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i64, Reg), ParseError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `imm(base)`, got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| err(line, format!("unclosed `(` in `{tok}`")))?;
+    let imm = if open == 0 { 0 } else { parse_imm(&tok[..open], line)? };
+    let base = parse_reg(&tok[open + 1..close], line)?;
+    Ok((imm, base))
+}
+
+/// Looks up the opcode for a mnemonic.
+fn opcode_by_mnemonic(m: &str) -> Option<Opcode> {
+    use Opcode::*;
+    const ALL: [Opcode; 87] = [
+        Lui, Auipc, Jal, Jalr, Beq, Bne, Blt, Bge, Bltu, Bgeu, Lb, Lh, Lw, Lbu, Lhu, Sb, Sh,
+        Sw, Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai, Add, Sub, Sll, Slt, Sltu,
+        Xor, Srl, Sra, Or, And, Fence, Ecall, Ebreak, Mul, Mulh, Mulhsu, Mulhu, Div, Divu,
+        Rem, Remu, Flw, Fsw, FaddS, FsubS, FmulS, FdivS, FsqrtS, FminS, FmaxS, FmaddS, FmsubS,
+        FnmaddS, FnmsubS, FcvtWS, FcvtWuS, FcvtSW, FcvtSWu, FmvXW, FmvWX, FeqS, FltS, FleS,
+        FsgnjS, FsgnjnS, FsgnjxS, FclassS, Lwu, Ld, Sd, Addiw, Slliw, Srliw, Sraiw, Addw,
+        Subw, Sllw, Srlw, Sraw, Auipc,
+    ];
+    ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+/// `true` when a branch/jump operand is a label rather than a number.
+fn is_label(tok: &str) -> bool {
+    !tok.starts_with(['-', '+']) && !tok.starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Parses an assembly listing into a [`Program`] based at `base_pc`.
+///
+/// Accepted syntax: one instruction per line in the `Display` format;
+/// `name:` labels (own line or prefixing an instruction); `#` or `//`
+/// comments; `.pragma parallel|simd` / `.end_pragma` directives; the
+/// pseudo-instructions `nop`, `li`, and `mv`.
+///
+/// # Errors
+/// Returns the first [`ParseError`] with its source line.
+pub fn parse_program(base_pc: u64, text: &str) -> Result<Program, ParseError> {
+    let mut a = Asm::new(base_pc);
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments.
+        let mut line = raw;
+        for marker in ["#", "//", ";"] {
+            if let Some(at) = line.find(marker) {
+                line = &line[..at];
+            }
+        }
+        let mut line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("pragma") => match parts.next() {
+                    Some("parallel") => {
+                        a.pragma(ParallelKind::Parallel);
+                    }
+                    Some("simd") => {
+                        a.pragma(ParallelKind::Simd);
+                    }
+                    other => {
+                        return Err(err(line_no, format!("unknown pragma {other:?}")))
+                    }
+                },
+                Some("end_pragma") => {
+                    a.end_pragma();
+                }
+                other => return Err(err(line_no, format!("unknown directive .{other:?}"))),
+            }
+            continue;
+        }
+
+        // Leading label(s).
+        while let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line_no, format!("bad label `{label}`")));
+            }
+            a.label(label);
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        parse_instruction(&mut a, line, line_no)?;
+    }
+
+    a.finish().map_err(|e| err(0, e.to_string()))
+}
+
+/// Parses one instruction line into the builder.
+fn parse_instruction(a: &mut Asm, line: &str, ln: usize) -> Result<(), ParseError> {
+    let (mnemonic, rest) = match line.find(char::is_whitespace) {
+        Some(at) => (&line[..at], line[at..].trim()),
+        None => (line, ""),
+    };
+    let operands: Vec<&str> =
+        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let want = |n: usize| -> Result<(), ParseError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(ln, format!("`{mnemonic}` expects {n} operands, got {}", operands.len())))
+        }
+    };
+
+    // Pseudo-instructions first.
+    match mnemonic {
+        "nop" => {
+            want(0)?;
+            a.nop();
+            return Ok(());
+        }
+        "li" => {
+            want(2)?;
+            a.li(parse_reg(operands[0], ln)?, parse_imm(operands[1], ln)?);
+            return Ok(());
+        }
+        "mv" => {
+            want(2)?;
+            a.mv(parse_reg(operands[0], ln)?, parse_reg(operands[1], ln)?);
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let op = opcode_by_mnemonic(mnemonic)
+        .ok_or_else(|| err(ln, format!("unknown mnemonic `{mnemonic}`")))?;
+
+    use crate::OpClass;
+    match op.class() {
+        OpClass::Load => {
+            want(2)?;
+            let rd = parse_reg(operands[0], ln)?;
+            let (imm, base) = parse_mem_operand(operands[1], ln)?;
+            a.raw(Instruction::load(op, rd, base, imm));
+        }
+        OpClass::Store => {
+            want(2)?;
+            let src = parse_reg(operands[0], ln)?;
+            let (imm, base) = parse_mem_operand(operands[1], ln)?;
+            a.raw(Instruction::store(op, src, base, imm));
+        }
+        OpClass::Branch => {
+            want(3)?;
+            let rs1 = parse_reg(operands[0], ln)?;
+            let rs2 = parse_reg(operands[1], ln)?;
+            if is_label(operands[2]) {
+                branch_to_label(a, op, rs1, rs2, operands[2]);
+            } else {
+                a.raw(Instruction::branch(op, rs1, rs2, parse_imm(operands[2], ln)?));
+            }
+        }
+        OpClass::Jump if op == Opcode::Jal => {
+            want(2)?;
+            let rd = parse_reg(operands[0], ln)?;
+            if is_label(operands[1]) {
+                a.jal(rd, operands[1]);
+            } else {
+                a.raw(Instruction::jal(rd, parse_imm(operands[1], ln)?));
+            }
+        }
+        OpClass::Jump => {
+            // jalr rd, imm(rs1)
+            want(2)?;
+            let rd = parse_reg(operands[0], ln)?;
+            let (imm, base) = parse_mem_operand(operands[1], ln)?;
+            a.jalr(rd, base, imm);
+        }
+        OpClass::System => {
+            want(0)?;
+            a.raw(Instruction::system(op));
+        }
+        _ => match op {
+            Opcode::Lui | Opcode::Auipc => {
+                want(2)?;
+                a.raw(Instruction::upper(op, parse_reg(operands[0], ln)?, parse_imm(operands[1], ln)?));
+            }
+            _ if op.is_three_source() => {
+                want(4)?;
+                a.raw(Instruction::reg4(
+                    op,
+                    parse_reg(operands[0], ln)?,
+                    parse_reg(operands[1], ln)?,
+                    parse_reg(operands[2], ln)?,
+                    parse_reg(operands[3], ln)?,
+                ));
+            }
+            Opcode::FsqrtS
+            | Opcode::FcvtWS
+            | Opcode::FcvtWuS
+            | Opcode::FcvtSW
+            | Opcode::FcvtSWu
+            | Opcode::FmvXW
+            | Opcode::FmvWX
+            | Opcode::FclassS => {
+                // Unary register forms: fsqrt.s, fcvt.*, fmv.*, fclass.s.
+                want(2)?;
+                a.raw(Instruction {
+                    op,
+                    rd: Some(parse_reg(operands[0], ln)?),
+                    rs1: Some(parse_reg(operands[1], ln)?),
+                    rs2: None,
+                    rs3: None,
+                    imm: 0,
+                });
+            }
+            _ => {
+                want(3)?;
+                let rd = parse_reg(operands[0], ln)?;
+                let rs1 = parse_reg(operands[1], ln)?;
+                // Third operand: register (R-type) or immediate (I-type).
+                if let Ok(rs2) = parse_reg(operands[2], ln) {
+                    a.raw(Instruction::reg3(op, rd, rs1, rs2));
+                } else {
+                    a.raw(Instruction::reg_imm(op, rd, rs1, parse_imm(operands[2], ln)?));
+                }
+            }
+        },
+    }
+    Ok(())
+}
+
+/// Emits a branch whose target is a label (resolved at `finish`).
+fn branch_to_label(a: &mut Asm, op: Opcode, rs1: Reg, rs2: Reg, label: &str) {
+    match op {
+        Opcode::Beq => a.beq(rs1, rs2, label),
+        Opcode::Bne => a.bne(rs1, rs2, label),
+        Opcode::Blt => a.blt(rs1, rs2, label),
+        Opcode::Bge => a.bge(rs1, rs2, label),
+        Opcode::Bltu => a.bltu(rs1, rs2, label),
+        Opcode::Bgeu => a.bgeu(rs1, rs2, label),
+        _ => unreachable!("branch class covers exactly these opcodes"),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::abi::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let text = r"
+            # sum += a[i]
+            .pragma simd
+            loop:
+                lw   t0, 0(a0)
+                add  t1, t1, t0
+                addi a0, a0, 4
+                bne  a0, a1, loop
+            .end_pragma
+                li   a7, 93
+                ecall
+        ";
+        let p = parse_program(0x1000, text).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.instrs[0], Instruction::load(Opcode::Lw, T0, A0, 0));
+        assert_eq!(p.instrs[3].imm, -12);
+        assert_eq!(p.annotations.len(), 1);
+        assert_eq!(p.annotations[0].kind, ParallelKind::Simd);
+    }
+
+    #[test]
+    fn display_parse_roundtrip_for_programs() {
+        let mut a = Asm::new(0x2000);
+        a.label("top");
+        a.flw(FT0, A0, -8);
+        a.fsub_s(FT0, FT0, FA0);
+        a.fmul_s(FT1, FT0, FT0);
+        a.fsqrt_s(FT2, FT1);
+        a.fsw(FT2, A4, 12);
+        a.slli(T1, T0, 3);
+        a.slt(T2, T0, T1);
+        a.lui(S0, 0x12000);
+        a.addi(A0, A0, 4);
+        a.bltu(A0, A1, "top");
+        a.ecall();
+        let original = a.finish().unwrap();
+
+        // Display emits numeric branch offsets; the parser accepts them.
+        let listing = original
+            .instrs
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_program(0x2000, &listing).unwrap();
+        assert_eq!(reparsed.instrs, original.instrs, "listing:\n{listing}");
+    }
+
+    #[test]
+    fn raw_register_names_accepted() {
+        let p = parse_program(0, "add x5, x6, x7\nfadd.s f0, f1, f2").unwrap();
+        assert_eq!(p.instrs[0], Instruction::reg3(Opcode::Add, T0, T1, T2));
+        assert_eq!(p.instrs[1], Instruction::reg3(Opcode::FaddS, FT0, FT1, FT2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program(0, "nop\nbogus t0, t1, t2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_program(0, "add t0, t1").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+
+        let e = parse_program(0, "lw t0, 4[a0]").unwrap_err();
+        assert!(e.message.contains("imm(base)"));
+
+        let e = parse_program(0, "add q0, t1, t2").unwrap_err();
+        assert!(e.message.contains("unknown register"));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let e = parse_program(0, "bne t0, t1, nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = parse_program(0, "addi t0, t0, -0x10\nlui s0, 0x12000").unwrap();
+        assert_eq!(p.instrs[0].imm, -16);
+        assert_eq!(p.instrs[1].imm, 0x12000);
+    }
+
+    #[test]
+    fn fma_and_jump_forms() {
+        let p = parse_program(
+            0,
+            "fmadd.s fa0, fa1, fa2, fa3\njal ra, 8\njalr zero, 0(ra)",
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0].rs3, Some(FA3));
+        assert_eq!(p.instrs[1].imm, 8);
+        assert_eq!(p.instrs[2].op, Opcode::Jalr);
+    }
+
+    #[test]
+    fn every_workload_style_mnemonic_roundtrips() {
+        // One instruction of each class, via Display → parse.
+        let samples = [
+            Instruction::reg3(Opcode::Mul, T0, T1, T2),
+            Instruction::reg3(Opcode::Divu, T0, T1, T2),
+            Instruction::reg_imm(Opcode::Andi, A0, A1, 255),
+            Instruction::load(Opcode::Lbu, T0, SP, 2),
+            Instruction::store(Opcode::Sh, T0, SP, -2),
+            Instruction::branch(Opcode::Bgeu, A0, A1, 16),
+            Instruction::reg3(Opcode::FminS, FT0, FT1, FT2),
+            Instruction::reg3(Opcode::FleS, A0, FA0, FA1),
+        ];
+        for instr in samples {
+            let text = instr.to_string();
+            let p = parse_program(0, &text).unwrap();
+            assert_eq!(p.instrs[0], instr, "{text}");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Set-associative cache timing model (LRU, write-back, write-allocate).
+//!
+//! Only *timing* is modelled here — data always lives in the
+//! [`crate::SparseMemory`] backing store. This matches the paper's
+//! methodology (§6.1), where caches determine latency while functional
+//! values come from the simulator state.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// 64 KiB, 8-way, 64 B lines, 3-cycle hit — the paper's per-core L1.
+    #[must_use]
+    pub fn l1_64k() -> Self {
+        CacheConfig { size: 64 << 10, ways: 8, line: 64, hit_latency: 3 }
+    }
+
+    /// 8 MiB, 16-way, 64 B lines, 18-cycle hit — the paper's unified L2.
+    #[must_use]
+    pub fn l2_8m() -> Self {
+        CacheConfig { size: 8 << 20, ways: 16, line: 64, hit_latency: 18 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero sets or non-power-of-two
+    /// line size).
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        let sets = self.size / (self.ways * self.line);
+        assert!(sets > 0, "cache must have at least one set");
+        sets
+    }
+}
+
+/// Hit/miss statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; zero when no accesses occurred.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Total demand accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// What an access did, as seen by this level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// `true` when the line was present.
+    pub hit: bool,
+    /// `true` when a dirty victim was evicted (costs a writeback below).
+    pub evicted_dirty: bool,
+}
+
+/// One level of set-associative cache (timing only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache from its geometry.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = vec![vec![Line::default(); cfg.ways]; cfg.num_sets()];
+        Cache { cfg, sets, stats: CacheStats::default(), tick: 0 }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr / self.cfg.line as u64;
+        let set = (line_addr % self.sets.len() as u64) as usize;
+        let tag = line_addr / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Performs a demand access, filling on miss. Returns whether it hit and
+    /// whether a dirty line was displaced.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.tick += 1;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().filter(|l| l.valid).find(|l| l.tag == tag) {
+            line.last_used = self.tick;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return AccessResult { hit: true, evicted_dirty: false };
+        }
+
+        self.stats.misses += 1;
+        // Victim: invalid line first, else LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used + 1 } else { 0 })
+            .expect("cache set is never empty");
+        let evicted_dirty = victim.valid && victim.dirty;
+        if evicted_dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line { tag, valid: true, dirty: is_write, last_used: self.tick };
+        AccessResult { hit: false, evicted_dirty }
+    }
+
+    /// Probes without filling or updating stats (used for snooping /
+    /// invalidation checks).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr`, if present. Returns whether a
+    /// line was dropped.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        for line in &mut self.sets[set_idx] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates the whole cache (keeps statistics).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets, 2 ways, 16 B lines = 128 B.
+        Cache::new(CacheConfig { size: 128, ways: 2, line: 16, hit_latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::l1_64k().num_sets(), 128);
+        assert_eq!(CacheConfig::l2_8m().num_sets(), 8192);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x108, false).hit, "same 16B line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Three distinct lines mapping to the same set (stride = sets*line = 64).
+        c.access(0x000, false);
+        c.access(0x040, false);
+        c.access(0x000, false); // touch 0x000 so 0x040 is LRU
+        c.access(0x080, false); // evicts 0x040
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x040));
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x040, false);
+        let r = c.access(0x080, false); // evicts dirty 0x000
+        assert!(r.evicted_dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = tiny();
+        c.access(0x100, true);
+        assert!(c.invalidate(0x100));
+        assert!(!c.probe(0x100));
+        c.access(0x100, false);
+        c.access(0x200, false);
+        c.flush();
+        assert!(!c.probe(0x100));
+        assert!(!c.probe(0x200));
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // now dirty
+        c.access(0x040, false);
+        let r = c.access(0x080, false);
+        assert!(r.evicted_dirty, "the written line must have become dirty");
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.access(0x0, false);
+        c.access(0x0, false);
+        c.access(0x0, false);
+        c.access(0x0, false);
+        assert!((c.stats().miss_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! Memory subsystem models for the MESA reproduction.
+//!
+//! * [`SparseMemory`] — page-granular functional backing store implementing
+//!   [`mesa_isa::MemoryIo`].
+//! * [`Cache`] / [`CacheConfig`] — set-associative timing model (LRU,
+//!   write-back, write-allocate).
+//! * [`MemorySystem`] — per-requester L1s over a banked shared L2 and flat
+//!   DRAM; used by both the multicore CPU baseline and the accelerator.
+//! * [`AmatTable`] — the per-instruction average-memory-access-time
+//!   counters MESA's performance model consumes (paper §3.1).
+//!
+//! # Example
+//!
+//! ```
+//! use mesa_mem::{MemConfig, MemorySystem, ServedBy};
+//!
+//! let mut sys = MemorySystem::new(MemConfig::default(), 1);
+//! sys.data_mut().store_u32(0x1000, 42);
+//! let cold = sys.access(0, 0x1000, false, 0);
+//! let warm = sys.access(0, 0x1000, false, cold.total);
+//! assert_eq!(cold.served_by, ServedBy::Dram);
+//! assert_eq!(warm.served_by, ServedBy::L1);
+//! assert!(warm.total < cold.total);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amat;
+pub mod cache;
+pub mod sparse;
+pub mod system;
+
+pub use amat::{AmatEntry, AmatTable};
+pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
+pub use sparse::SparseMemory;
+pub use system::{AccessLatency, MemConfig, MemorySystem, ServedBy};

@@ -1,0 +1,317 @@
+//! Activity-based energy model (paper §6.1).
+//!
+//! The paper "track[s] the activity of PEs in the spatial backend at every
+//! cycle", clock-gates disabled units, and accumulates energy "based on
+//! the fraction of dynamically active components at every cycle". This
+//! module does the same arithmetic from the aggregate activity statistics
+//! the simulators collect, using per-event energies calibrated to the
+//! published Table 1 power figures at 2 GHz / 15 nm.
+
+use mesa_accel::ActivityStats;
+
+/// Per-event and per-cycle energy constants, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Integer PE operation.
+    pub int_op_pj: f64,
+    /// FP PE operation.
+    pub fp_op_pj: f64,
+    /// Direct neighbor-link transfer.
+    pub local_transfer_pj: f64,
+    /// NoC transfer, per hop-cycle.
+    pub noc_hop_pj: f64,
+    /// Fallback-bus transfer.
+    pub fallback_pj: f64,
+    /// Load/store entry bookkeeping per memory op.
+    pub lsu_entry_pj: f64,
+    /// L1 access.
+    pub l1_access_pj: f64,
+    /// L2 access (on L1 miss).
+    pub l2_access_pj: f64,
+    /// DRAM line fill.
+    pub dram_access_pj: f64,
+    /// MESA controller, per active (configuring/optimizing) cycle — Table
+    /// 1's 0.36 W at 2 GHz.
+    pub mesa_active_pj_per_cycle: f64,
+    /// Accelerator leakage + clock tree per running cycle: fixed floor
+    /// (LSU, control, NoC spine) independent of array size.
+    pub accel_static_base_pj: f64,
+    /// Accelerator leakage + clock per running cycle *per PE* (idle PEs
+    /// are clock-gated but still leak; Table 1's 11.65 W is the fully
+    /// active 128-PE ceiling).
+    pub accel_static_per_pe_pj: f64,
+    /// CPU core: dynamic energy per retired instruction (McPAT-class
+    /// number for a quad-issue OoO core; dominated by fetch/rename/issue
+    /// control — the von Neumann overhead MESA elides).
+    pub cpu_instr_pj: f64,
+    /// Portion of `cpu_instr_pj` that is frontend/control overhead.
+    pub cpu_control_fraction: f64,
+    /// CPU core static power per cycle, per core.
+    pub cpu_static_pj_per_cycle: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            int_op_pj: 6.0,
+            fp_op_pj: 26.0,
+            local_transfer_pj: 0.8,
+            noc_hop_pj: 4.0,
+            fallback_pj: 9.0,
+            lsu_entry_pj: 3.0,
+            l1_access_pj: 22.0,
+            l2_access_pj: 130.0,
+            dram_access_pj: 2200.0,
+            mesa_active_pj_per_cycle: 180.0, // 0.36 W @ 2 GHz
+            accel_static_base_pj: 1300.0,    // ~2.6 W floor
+            accel_static_per_pe_pj: 30.0,    // +7.7 W at 128 PEs fully active
+            cpu_instr_pj: 130.0,
+            cpu_control_fraction: 0.6,
+            cpu_static_pj_per_cycle: 300.0, // ~0.6 W per active core
+        }
+    }
+}
+
+/// Memory-hierarchy activity deltas for one measured phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemActivity {
+    /// Demand accesses reaching the L1.
+    pub l1_accesses: u64,
+    /// L1 misses (L2 lookups).
+    pub l2_accesses: u64,
+    /// L2 misses (DRAM line fills).
+    pub dram_accesses: u64,
+}
+
+/// Energy grouped by the categories of the paper's Fig. 13 breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// PE / functional-unit computation.
+    pub compute_pj: f64,
+    /// Cache hierarchy, DRAM, and load/store entries.
+    pub memory_pj: f64,
+    /// NoC, neighbor links, and fallback bus.
+    pub interconnect_pj: f64,
+    /// Control: MESA controller activity, configuration, CPU frontend
+    /// overheads, statics.
+    pub control_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.memory_pj + self.interconnect_pj + self.control_pj
+    }
+
+    /// Total energy in nanojoules.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.total_pj() / 1000.0
+    }
+
+    /// `(compute, memory, interconnect, control)` fractions of total.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_pj().max(f64::MIN_POSITIVE);
+        [
+            self.compute_pj / t,
+            self.memory_pj / t,
+            self.interconnect_pj / t,
+            self.control_pj / t,
+        ]
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + other.compute_pj,
+            memory_pj: self.memory_pj + other.memory_pj,
+            interconnect_pj: self.interconnect_pj + other.interconnect_pj,
+            control_pj: self.control_pj + other.control_pj,
+        }
+    }
+}
+
+/// Energy consumed by the accelerator while executing a region on a
+/// fabric of `pes` processing elements.
+///
+/// Static (leakage + clock) energy is attributed to the components it
+/// physically belongs to — mostly the PE array, then the memory entries
+/// and NoC — so the Fig. 13 category fractions reflect the hardware
+/// breakdown rather than lumping all static draw under "control".
+#[must_use]
+pub fn accel_energy(
+    activity: &ActivityStats,
+    mem: &MemActivity,
+    accel_cycles: u64,
+    pes: usize,
+    p: &EnergyParams,
+) -> EnergyBreakdown {
+    let static_pj =
+        accel_cycles as f64 * (p.accel_static_base_pj + p.accel_static_per_pe_pj * pes as f64);
+    let compute = activity.int_ops as f64 * p.int_op_pj
+        + activity.fp_ops as f64 * p.fp_op_pj
+        + static_pj * 0.70;
+    let memory = activity.mem_ops() as f64 * p.lsu_entry_pj
+        + mem.l1_accesses as f64 * p.l1_access_pj
+        + mem.l2_accesses as f64 * p.l2_access_pj
+        + mem.dram_accesses as f64 * p.dram_access_pj
+        + static_pj * 0.15;
+    let interconnect = activity.local_transfers as f64 * p.local_transfer_pj
+        + activity.noc_hop_cycles as f64 * p.noc_hop_pj
+        + activity.fallback_transfers as f64 * p.fallback_pj
+        + static_pj * 0.10;
+    let control = static_pj * 0.05;
+    EnergyBreakdown {
+        compute_pj: compute,
+        memory_pj: memory,
+        interconnect_pj: interconnect,
+        control_pj: control,
+    }
+}
+
+/// Energy the MESA controller spends configuring (and reconfiguring).
+#[must_use]
+pub fn config_energy(config_cycles: u64, p: &EnergyParams) -> EnergyBreakdown {
+    EnergyBreakdown {
+        control_pj: config_cycles as f64 * p.mesa_active_pj_per_cycle,
+        ..Default::default()
+    }
+}
+
+/// Energy consumed by CPU cores executing instructions.
+///
+/// `core_cycles` is the sum of busy cycles across all active cores.
+#[must_use]
+pub fn cpu_energy(
+    retired: u64,
+    core_cycles: u64,
+    mem: &MemActivity,
+    p: &EnergyParams,
+) -> EnergyBreakdown {
+    let dynamic = retired as f64 * p.cpu_instr_pj;
+    let control = dynamic * p.cpu_control_fraction
+        + core_cycles as f64 * p.cpu_static_pj_per_cycle;
+    let compute = dynamic * (1.0 - p.cpu_control_fraction);
+    let memory = mem.l1_accesses as f64 * p.l1_access_pj
+        + mem.l2_accesses as f64 * p.l2_access_pj
+        + mem.dram_accesses as f64 * p.dram_access_pj;
+    EnergyBreakdown {
+        compute_pj: compute,
+        memory_pj: memory,
+        interconnect_pj: 0.0,
+        control_pj: control,
+    }
+}
+
+/// The Fig. 16 amortization series: average energy per iteration after `k`
+/// iterations, for a one-time configuration cost and a steady per-iteration
+/// energy.
+#[must_use]
+pub fn amortization_series(
+    config_nj: f64,
+    per_iteration_nj: f64,
+    points: &[u64],
+) -> Vec<(u64, f64)> {
+    points
+        .iter()
+        .map(|&k| {
+            let k1 = k.max(1) as f64;
+            (k, per_iteration_nj + config_nj / k1)
+        })
+        .collect()
+}
+
+/// Iterations needed before the configuration overhead drops below
+/// `threshold` (relative to the steady per-iteration energy) — the
+/// break-even analysis behind Fig. 16's "amortizes over time to around 70
+/// iterations".
+#[must_use]
+pub fn break_even_iterations(config_nj: f64, per_iteration_nj: f64, threshold: f64) -> u64 {
+    if per_iteration_nj <= 0.0 {
+        return u64::MAX;
+    }
+    (config_nj / (per_iteration_nj * threshold)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn some_activity() -> ActivityStats {
+        ActivityStats {
+            int_ops: 1000,
+            fp_ops: 500,
+            loads: 300,
+            stores: 100,
+            pe_busy_cycles: 4000,
+            local_transfers: 800,
+            noc_transfers: 100,
+            noc_hop_cycles: 400,
+            fallback_transfers: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn accel_energy_sums_components() {
+        let p = EnergyParams::default();
+        let mem = MemActivity { l1_accesses: 400, l2_accesses: 30, dram_accesses: 5 };
+        let e = accel_energy(&some_activity(), &mem, 10_000, 128, &p);
+        assert!(e.compute_pj > 0.0 && e.memory_pj > 0.0);
+        assert!(e.interconnect_pj > 0.0 && e.control_pj > 0.0);
+        let static_pj = 10_000.0 * (1300.0 + 30.0 * 128.0);
+        let total_by_hand = 1000.0 * 6.0 + 500.0 * 26.0 // compute
+            + 400.0 * 3.0 + 400.0 * 22.0 + 30.0 * 130.0 + 5.0 * 2200.0 // memory
+            + 800.0 * 0.8 + 400.0 * 4.0 + 10.0 * 9.0 // interconnect
+            + static_pj;
+        assert!((e.total_pj() - total_by_hand).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let p = EnergyParams::default();
+        let mem = MemActivity { l1_accesses: 400, l2_accesses: 30, dram_accesses: 5 };
+        let e = accel_energy(&some_activity(), &mem, 10_000, 128, &p);
+        let sum: f64 = e.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_control_dominates_cpu_energy() {
+        // The motivation for MESA (§1): CPUs burn most energy on von
+        // Neumann control overheads.
+        let p = EnergyParams::default();
+        let mem = MemActivity::default();
+        let e = cpu_energy(100_000, 50_000, &mem, &p);
+        assert!(e.control_pj > e.compute_pj);
+    }
+
+    #[test]
+    fn amortization_decreases_monotonically() {
+        let series = amortization_series(1000.0, 10.0, &[1, 2, 5, 10, 50, 100]);
+        for w in series.windows(2) {
+            assert!(w[1].1 < w[0].1, "{w:?}");
+        }
+        // At k → ∞, per-iteration energy approaches the steady value.
+        let (_, last) = series.last().copied().unwrap();
+        assert!(last < 25.0 && last > 10.0);
+    }
+
+    #[test]
+    fn break_even_matches_closed_form() {
+        // config=700nJ, per-iter=10nJ, threshold 100% → 70 iterations
+        // (the Fig. 16 ballpark).
+        assert_eq!(break_even_iterations(700.0, 10.0, 1.0), 70);
+        assert_eq!(break_even_iterations(700.0, 0.0, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let a = EnergyBreakdown { compute_pj: 1.0, memory_pj: 2.0, interconnect_pj: 3.0, control_pj: 4.0 };
+        let b = a.add(&a);
+        assert_eq!(b.total_pj(), 20.0);
+    }
+}

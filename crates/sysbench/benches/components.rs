@@ -1,0 +1,147 @@
+//! Micro-benchmarks of MESA's individual hardware-algorithm components:
+//! LDFG construction, the Algorithm-1 mapper, the accelerator engine, the
+//! OoO core model, and the instruction codec. These track the simulator's
+//! own performance (useful when extending the repo), independent of the
+//! paper's figures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mesa_accel::{AccelConfig, Coord, SpatialAccelerator};
+use mesa_core::{
+    analyze_memopts, build_accel_program, map_instructions, Ldfg, MapperConfig, OptFlags,
+};
+use mesa_cpu::{CoreConfig, NullMonitor, OoOCore, RunLimits};
+use mesa_isa::{codec, OpClass};
+use mesa_mem::{MemConfig, MemorySystem};
+use mesa_workloads::{by_name, KernelSize};
+use std::hint::black_box;
+
+fn region(kernel: &str) -> mesa_isa::Program {
+    let k = by_name(kernel, KernelSize::Tiny).expect("kernel");
+    let (start, end) = k.loop_region();
+    let base = ((start - k.program.base_pc) / 4) as usize;
+    let len = ((end - start) / 4) as usize;
+    mesa_isa::Program {
+        base_pc: start,
+        instrs: k.program.instrs[base..base + len].to_vec(),
+        annotations: vec![],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let words: Vec<u32> = region("srad").encode().expect("encodes");
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("decode_srad_body", |b| {
+        b.iter(|| {
+            for &w in &words {
+                black_box(codec::decode(w).expect("valid"));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_ldfg_build(c: &mut Criterion) {
+    let r = region("srad");
+    let mut g = c.benchmark_group("ldfg");
+    g.throughput(Throughput::Elements(r.instrs.len() as u64));
+    g.bench_function("build_srad_body", |b| {
+        b.iter(|| black_box(Ldfg::build(&r).expect("builds")));
+    });
+    g.finish();
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let r = region("srad");
+    let ldfg = Ldfg::build(&r).expect("builds");
+    let accel = AccelConfig::m128();
+    let sa = SpatialAccelerator::new(accel);
+    let supports = |coord: Coord, class: OpClass| accel.supports(coord, class);
+    let mut g = c.benchmark_group("mapper");
+    g.throughput(Throughput::Elements(ldfg.len() as u64));
+    g.bench_function("algorithm1_srad_on_m128", |b| {
+        b.iter(|| {
+            black_box(map_instructions(
+                &ldfg,
+                accel.grid(),
+                &supports,
+                sa.latency_model(),
+                &MapperConfig::default(),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let kernel = by_name("nn", KernelSize::Tiny).expect("nn");
+    let r = region("nn");
+    let ldfg = Ldfg::build(&r).expect("builds");
+    let accel_cfg = AccelConfig::m128();
+    let sa = SpatialAccelerator::new(accel_cfg);
+    let supports = |coord: Coord, class: OpClass| accel_cfg.supports(coord, class);
+    let sdfg = map_instructions(
+        &ldfg,
+        accel_cfg.grid(),
+        &supports,
+        sa.latency_model(),
+        &MapperConfig::default(),
+    );
+    let plan = analyze_memopts(&ldfg);
+    let prog = build_accel_program(
+        &ldfg,
+        &sdfg,
+        Some(&plan),
+        None,
+        &accel_cfg,
+        &OptFlags::none(),
+        kernel.iterations,
+    );
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(kernel.iterations));
+    g.bench_function("nn_512_iterations_on_m128", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemConfig::default(), 1);
+            kernel.populate(mem.data_mut());
+            black_box(
+                sa.execute(&prog, &kernel.entry, &mut mem, 0, 1_000_000)
+                    .expect("runs"),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_ooo_core(c: &mut Criterion) {
+    let kernel = by_name("pathfinder", KernelSize::Tiny).expect("pathfinder");
+    let mut g = c.benchmark_group("ooo_core");
+    g.sample_size(20);
+    g.bench_function("pathfinder_tiny_to_halt", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemConfig::default(), 1);
+            kernel.populate(mem.data_mut());
+            let mut state = kernel.entry.clone();
+            let mut cpu = OoOCore::new(CoreConfig::boom_baseline());
+            black_box(cpu.run(
+                &kernel.program,
+                &mut state,
+                &mut mem,
+                0,
+                RunLimits::none(),
+                &mut NullMonitor,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    bench_codec,
+    bench_ldfg_build,
+    bench_mapper,
+    bench_engine,
+    bench_ooo_core
+);
+criterion_main!(components);

@@ -1,0 +1,87 @@
+//! Diagnostic dump: map one kernel, execute it, and print the placement,
+//! per-node measured latencies, and activity — the raw data behind the
+//! figures, for calibration and debugging.
+//!
+//! Usage: `cargo run --release -p mesa-bench --bin inspect -- <kernel> [tiny|small]`
+
+use mesa_accel::{AccelConfig, Coord, SpatialAccelerator};
+use mesa_bench::region_ldfg;
+use mesa_core::{
+    analyze_memopts, build_accel_program, map_instructions, MapperConfig, OptFlags,
+};
+use mesa_isa::OpClass;
+use mesa_mem::{MemConfig, MemorySystem};
+use mesa_workloads::{by_name, KernelSize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("nn", String::as_str);
+    let size = match args.get(1).map(String::as_str) {
+        Some("tiny") => KernelSize::Tiny,
+        Some("large") => KernelSize::Large,
+        _ => KernelSize::Small,
+    };
+    let kernel = by_name(name, size).expect("kernel exists");
+    let ldfg = region_ldfg(&kernel).expect("region builds");
+
+    let accel_cfg = AccelConfig::m128();
+    let accel = SpatialAccelerator::new(accel_cfg);
+    let supports = |c: Coord, class: OpClass| accel_cfg.supports(c, class);
+    let sdfg = map_instructions(
+        &ldfg,
+        accel_cfg.grid(),
+        &supports,
+        accel.latency_model(),
+        &MapperConfig::default(),
+    );
+    let plan = analyze_memopts(&ldfg);
+    let prog = build_accel_program(
+        &ldfg,
+        &sdfg,
+        Some(&plan),
+        kernel.annotation,
+        &accel_cfg,
+        &OptFlags::default(),
+        kernel.iterations,
+    );
+    println!(
+        "{}: {} nodes, tiles={}, pipelined={}, est iter latency={}",
+        kernel.name,
+        prog.len(),
+        prog.tiles,
+        prog.pipelined,
+        sdfg.expected_iteration_latency()
+    );
+
+    let mut mem = MemorySystem::new(MemConfig::default(), 2);
+    kernel.populate(mem.data_mut());
+    let r = accel
+        .execute(&prog, &kernel.entry, &mut mem, 1, 10_000_000)
+        .expect("runs");
+    println!(
+        "iterations={} cycles={} ({:.2} cyc/iter) completed={}",
+        r.iterations,
+        r.cycles,
+        r.cycles_per_iteration(),
+        r.completed
+    );
+    println!("activity: {:?}\n", r.activity);
+
+    println!(
+        "{:<4} {:<26} {:<8} {:>8} {:>7} {:>7} {:>6}",
+        "idx", "instr", "coord", "fires", "avg_op", "avg_s1", "avg_s2"
+    );
+    for (i, node) in prog.nodes.iter().enumerate() {
+        let ctr = &r.counters.nodes[i];
+        println!(
+            "{:<4} {:<26} {:<8} {:>8} {:>7} {:>7} {:>6}",
+            i,
+            node.instr.to_string(),
+            node.coord.map_or("bus".into(), |c| c.to_string()),
+            ctr.fires,
+            ctr.avg_op().map_or(0, |v| v),
+            ctr.avg_in(0).unwrap_or(0),
+            ctr.avg_in(1).unwrap_or(0),
+        );
+    }
+}

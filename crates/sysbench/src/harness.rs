@@ -1,0 +1,184 @@
+//! Shared measurement harness: runs a kernel on the single-core CPU, the
+//! 16-core multicore baseline, and the MESA system, collecting cycles and
+//! memory-hierarchy activity in the form the energy model consumes.
+
+use mesa_core::{run_offload, Ldfg, MesaError, OffloadReport, SystemConfig};
+use mesa_cpu::{CoreConfig, Multicore, NullMonitor, OoOCore, RunLimits};
+use mesa_mem::{MemConfig, MemorySystem};
+use mesa_power::MemActivity;
+use mesa_workloads::Kernel;
+
+/// Result of a CPU-only (single or multicore) measurement.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Wall-clock cycles.
+    pub cycles: u64,
+    /// Instructions retired (summed over cores).
+    pub retired: u64,
+    /// Busy core-cycles (summed over cores, for static energy).
+    pub core_cycles: u64,
+    /// Memory-hierarchy activity.
+    pub mem: MemActivity,
+}
+
+/// Result of a MESA-system measurement.
+#[derive(Debug, Clone)]
+pub struct MesaRun {
+    /// The offload report (None when the loop was rejected and execution
+    /// stayed on the CPU).
+    pub report: Option<OffloadReport>,
+    /// Wall-clock cycles of the whole episode.
+    pub cycles: u64,
+    /// Memory-hierarchy activity.
+    pub mem: MemActivity,
+}
+
+fn mem_activity(mem: &MemorySystem) -> MemActivity {
+    let l1: u64 = (0..mem.requesters()).map(|i| mem.l1_stats(i).accesses()).sum();
+    MemActivity {
+        l1_accesses: l1,
+        l2_accesses: mem.l2_stats().accesses(),
+        dram_accesses: mem.dram_accesses(),
+    }
+}
+
+/// Runs the kernel to completion on one out-of-order core.
+#[must_use]
+pub fn cpu_single(kernel: &Kernel, core: CoreConfig) -> BaselineRun {
+    let mut mem = MemorySystem::new(MemConfig::default(), 1);
+    kernel.populate(mem.data_mut());
+    let mut state = kernel.entry.clone();
+    let mut cpu = OoOCore::new(core);
+    let r = cpu.run(&kernel.program, &mut state, &mut mem, 0, RunLimits::none(), &mut NullMonitor);
+    BaselineRun {
+        cycles: r.cycles,
+        retired: r.retired,
+        core_cycles: r.cycles,
+        mem: mem_activity(&mem),
+    }
+}
+
+/// OpenMP parallel-region fork/join overhead for the 16-thread baseline,
+/// in cycles — the cost of waking, distributing to, and barrier-joining
+/// the worker threads, which the gem5+OpenMP baseline of the paper also
+/// pays once per parallel region.
+pub const FORK_JOIN_CYCLES: u64 = 1200;
+
+/// Runs the kernel on an `n`-core multicore with static iteration
+/// chunking (serial kernels run on core 0 alone).
+#[must_use]
+pub fn cpu_multicore(kernel: &Kernel, n: usize) -> BaselineRun {
+    let mut mc = Multicore::new(CoreConfig::boom_baseline(), MemConfig::default(), n);
+    kernel.populate(mc.mem_mut().data_mut());
+    let r = mc.run_parallel(
+        &kernel.program,
+        |core| kernel.multicore_entry(core, n),
+        RunLimits::none(),
+    );
+    let overhead = if kernel.split.is_some() && n > 1 { FORK_JOIN_CYCLES } else { 0 };
+    let core_cycles = r.per_core.iter().map(|c| c.cycles).sum();
+    let mem = mem_activity(mc.mem_mut());
+    BaselineRun { cycles: r.cycles + overhead, retired: r.retired, core_cycles, mem }
+}
+
+/// Runs the kernel under the MESA system. A rejected loop falls back to
+/// the host multicore (the accelerator sits idle), which is what a real
+/// deployment would do.
+#[must_use]
+pub fn mesa_offload(kernel: &Kernel, system: &SystemConfig, fallback_cores: usize) -> MesaRun {
+    let mut mem = MemorySystem::new(system.mem, 2);
+    kernel.populate(mem.data_mut());
+    let mut state = kernel.entry.clone();
+    match run_offload(&kernel.program, &mut state, &mut mem, system) {
+        Ok(report) => {
+            let cycles = report.total_cycles();
+            MesaRun { report: Some(report), cycles, mem: mem_activity(&mem) }
+        }
+        Err(
+            MesaError::Rejected(_) | MesaError::NoLoopDetected | MesaError::LoopExitedDuringConfig,
+        ) => {
+            let fb = cpu_multicore(kernel, fallback_cores);
+            MesaRun { report: None, cycles: fb.cycles, mem: fb.mem }
+        }
+        Err(e) => panic!("{}: unexpected offload failure: {e}", kernel.name),
+    }
+}
+
+/// Extracts the hot-loop region of a kernel as an [`Ldfg`] (for the
+/// baseline mappers, which consume the same dependence structure MESA
+/// builds).
+///
+/// Returns `None` when the region is structurally unacceptable (e.g.
+/// btree's inner loop).
+#[must_use]
+pub fn region_ldfg(kernel: &Kernel) -> Option<Ldfg> {
+    let (start, end) = kernel.loop_region();
+    let base_idx = ((start - kernel.program.base_pc) / 4) as usize;
+    let len = ((end - start) / 4) as usize;
+    let region = mesa_isa::Program {
+        base_pc: start,
+        instrs: kernel.program.instrs[base_idx..base_idx + len].to_vec(),
+        annotations: kernel.program.annotations.clone(),
+    };
+    Ldfg::build(&region).ok()
+}
+
+/// Geometric mean of a non-empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesa_workloads::{by_name, KernelSize};
+
+    #[test]
+    fn single_core_measures_something() {
+        let k = by_name("pathfinder", KernelSize::Tiny).unwrap();
+        let r = cpu_single(&k, CoreConfig::boom_baseline());
+        assert!(r.cycles > 0 && r.retired > 0);
+        assert!(r.mem.l1_accesses > 0);
+    }
+
+    #[test]
+    fn multicore_beats_single_on_parallel_kernel() {
+        let k = by_name("pathfinder", KernelSize::Tiny).unwrap();
+        let single = cpu_single(&k, CoreConfig::boom_baseline());
+        let multi = cpu_multicore(&k, 8);
+        assert!(multi.cycles < single.cycles);
+    }
+
+    #[test]
+    fn mesa_offload_or_fallback_never_panics_across_suite() {
+        let system = SystemConfig::m128();
+        for k in mesa_workloads::all(KernelSize::Tiny) {
+            let r = mesa_offload(&k, &system, 4);
+            assert!(r.cycles > 0, "{}", k.name);
+            if k.name == "btree" {
+                assert!(r.report.is_none(), "btree must fall back");
+            }
+        }
+    }
+
+    #[test]
+    fn region_ldfg_matches_loop_len() {
+        let k = by_name("nn", KernelSize::Tiny).unwrap();
+        let ldfg = region_ldfg(&k).unwrap();
+        assert_eq!(ldfg.len(), 13);
+        // btree's innermost loop (the key scan) is what the detector sees.
+        let bt = region_ldfg(&by_name("btree", KernelSize::Tiny).unwrap()).unwrap();
+        assert_eq!(bt.len(), 6);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

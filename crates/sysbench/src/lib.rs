@@ -1,0 +1,20 @@
+//! Benchmark harness regenerating every table and figure of the MESA
+//! paper's evaluation (§6).
+//!
+//! Each `figN`/`tableN` function returns structured rows; the `figures`
+//! binary prints them, and the Criterion benches under `benches/` time the
+//! underlying simulations. `EXPERIMENTS.md` records paper-reported vs
+//! measured values.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+
+pub use figures::{
+    crossover, fig11, fig12, fig13, fig14, fig15, fig16, table1, table2, CrossoverRow,
+    Fig11Row, Fig12Row, Fig13Report, Fig14Row, Fig15Row, Table2Row, BASELINE_CORES,
+};
+pub use harness::{
+    cpu_multicore, cpu_single, geomean, mesa_offload, region_ldfg, BaselineRun, MesaRun,
+};

@@ -1,0 +1,104 @@
+//! `backprop` — neural network training (Rodinia): the forward-pass
+//! weighted sum for one output layer, four input units unrolled across
+//! separate weight-row streams.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_C,
+    DATA_OUT, TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Fourth weight-row segment (rows 0-2 live in A/B/C).
+const DATA_D: u64 = 0x140_0000;
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // w[0][j]
+    a.flw(FT1, A2, 0); // w[1][j]
+    a.flw(FT2, A3, 0); // w[2][j]
+    a.flw(FT3, A5, 0); // w[3][j]
+    a.fmul_s(FT0, FT0, FA0); // * in[0]
+    a.fmul_s(FT1, FT1, FA1);
+    a.fmul_s(FT2, FT2, FA2);
+    a.fmul_s(FT3, FT3, FA3);
+    a.fadd_s(FT4, FT0, FT1);
+    a.fadd_s(FT5, FT2, FT3);
+    a.fadd_s(FT4, FT4, FT5);
+    a.fsw(FT4, A4, 0); // out[j]
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A3, A3, 4);
+    a.addi(A5, A5, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("backprop kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A3, DATA_C);
+    entry.write(A5, DATA_D);
+    entry.write(A4, DATA_OUT);
+    for (reg, v) in [(FA0, 0.9f32), (FA1, -0.3), (FA2, 0.7), (FA3, 0.2)] {
+        entry.write(reg, u64::from(v.to_bits()));
+    }
+
+    Kernel {
+        name: "backprop",
+        description: "forward-pass weighted sum, 4 input units unrolled",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0x1A, n, -1.0, 1.0) },
+            MemInit { addr: DATA_B, words: f32_data(0x1B, n, -1.0, 1.0) },
+            MemInit { addr: DATA_C, words: f32_data(0x1C, n, -1.0, 1.0) },
+            MemInit { addr: DATA_D, words: f32_data(0x1D, n, -1.0, 1.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A3, 4), (A5, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn weighted_sum_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        let w: Vec<f32> = (0..4).map(|r| f32::from_bits(k.init[r].words[0])).collect();
+        let inputs = [0.9f32, -0.3, 0.7, 0.2];
+        let expect = (w[0] * inputs[0] + w[1] * inputs[1]) + (w[2] * inputs[2] + w[3] * inputs[3]);
+        let got = f32::from_bits(mem.load(DATA_OUT, 4) as u32);
+        assert!((got - expect).abs() < 1e-4, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn metadata() {
+        let k = build(KernelSize::Small);
+        assert!(k.fp);
+        assert_eq!(k.init.len(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! `bfs` — breadth-first search (Rodinia): one level-synchronous sweep
+//! over the frontier, *gathering* each frontier node's cost through a
+//! data-dependent address and writing the successor cost.
+//!
+//! The gather chain (load node id → compute address → load cost) is the
+//! class of access the paper calls "not suitable for spatial accelerators"
+//! (Fig. 11 discussion): addresses depend on loaded data, so MESA can
+//! neither prefetch nor vectorize them, and the random-access footprint
+//! defeats the cache.
+
+use crate::common::{
+    entry_at, u32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.lw(T0, A0, 0); // frontier[i]: a node id
+    a.slli(T1, T0, 2);
+    a.add(T1, A2, T1); // &cost[node]
+    a.lw(T2, T1, 0); // gather cost[node]
+    a.addi(T2, T2, 1); // next level
+    a.sw(T2, A4, 0); // next_cost[i]
+    a.addi(A0, A0, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("bfs kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+
+    // Frontier of random node ids over a cost table 4x the frontier size —
+    // a scattered, cache-hostile footprint.
+    let table = 4 * n;
+    Kernel {
+        name: "bfs",
+        description: "level-synchronous BFS sweep with data-dependent cost gathers",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: u32_data(0xF0, n, table as u32) },
+            MemInit { addr: DATA_B, words: u32_data(0xF1, table, 16) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A4, 4)],
+        }),
+        fp: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn gathers_and_increments_costs() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        for i in 0..32usize {
+            let node = k.init[0].words[i] as usize;
+            let cost = k.init[1].words[node];
+            let out = mem.load(DATA_OUT + 4 * i as u64, 4) as u32;
+            assert_eq!(out, cost + 1, "frontier entry {i} (node {node})");
+        }
+    }
+
+    #[test]
+    fn gather_address_is_data_dependent() {
+        // The cost load's base comes from computation on a loaded value —
+        // the pattern MESA cannot prefetch.
+        let k = build(KernelSize::Small);
+        let gather = k.program.instrs.iter().find(|i| i.rs1 == Some(T1)).unwrap();
+        assert!(gather.op.is_load());
+    }
+}

@@ -1,0 +1,108 @@
+//! `b+tree` — index queries (Rodinia): each outer iteration scans one
+//! node's key array with an *inner loop*.
+//!
+//! The inner backward branch makes the region structurally unacceptable to
+//! MESA (condition C2: "backward jumps and branches to a target address
+//! within the loop"), matching the paper's observation that B+Tree "did
+//! not qualify for acceleration on MESA" (Fig. 14 discussion). It still
+//! runs on the CPU baseline and on DynaSpAM-class fabrics that trace
+//! through inner loops.
+
+use crate::common::{
+    entry_at, u32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::Asm;
+
+/// Keys scanned per query node.
+const KEYS: i64 = 8;
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements() / 8; // queries (each does 8 key probes)
+    let mut a = Asm::new(TEXT_BASE);
+    a.label("outer");
+    a.lw(T0, A0, 0); // query key
+    a.mv(T1, A2); // key array cursor
+    a.li(T2, KEYS);
+    a.li(T6, 0); // best match accumulator
+    a.label("inner");
+    a.lw(T3, T1, 0); // key[k]
+    a.sltu(T4, T3, T0); // key < query?
+    a.add(T6, T6, T4); // count keys below (the search position)
+    a.addi(T1, T1, 4);
+    a.addi(T2, T2, -1);
+    a.bne(T2, ZERO, "inner");
+    a.sw(T6, A4, 0); // result position
+    a.addi(A0, A0, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "outer");
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("btree kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+
+    // Sorted-ish key array shared across queries.
+    let mut keys = u32_data(0x5B, KEYS as u64, 1000);
+    keys.sort_unstable();
+
+    Kernel {
+        name: "btree",
+        description: "B+Tree node scan: inner key-search loop per query",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: u32_data(0x5A, n, 1000) },
+            MemInit { addr: DATA_B, words: keys },
+        ],
+        iterations: n,
+        annotation: None, // inner loop: MESA cannot accelerate this
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A4, 4)],
+        }),
+        fp: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn search_positions_are_correct() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        for i in 0..16usize {
+            let q = k.init[0].words[i];
+            let expect = k.init[1].words.iter().filter(|&&key| key < q).count() as u32;
+            let got = mem.load(DATA_OUT + 4 * i as u64, 4) as u32;
+            assert_eq!(got, expect, "query {i}");
+        }
+    }
+
+    #[test]
+    fn contains_an_inner_loop() {
+        let k = build(KernelSize::Small);
+        let backward = k
+            .program
+            .instrs
+            .iter()
+            .filter(|i| i.op.is_branch() && i.imm < 0)
+            .count();
+        assert_eq!(backward, 2, "inner + outer backward branches");
+    }
+}

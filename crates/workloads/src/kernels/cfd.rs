@@ -1,0 +1,97 @@
+//! `cfd` — computational fluid dynamics (Rodinia): a per-cell flux
+//! contribution with density/momentum/energy streams and a divide,
+//! exercising the accelerator's FP divide units.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_C,
+    DATA_OUT, TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // density
+    a.flw(FT1, A2, 0); // momentum
+    a.flw(FT2, A3, 0); // energy
+    a.fmul_s(FT3, FT1, FT1); // m²
+    a.fdiv_s(FT3, FT3, FT0); // m²/ρ
+    a.fsub_s(FT4, FT2, FT3); // e - m²/ρ
+    a.fmul_s(FT4, FT4, FA0); // * (γ-1) → pressure
+    a.fadd_s(FT5, FT3, FT4); // flux numerator
+    a.fmul_s(FT5, FT5, FA1); // * area factor
+    a.fsw(FT5, A4, 0);
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A3, A3, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("cfd kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A3, DATA_C);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from(0.4f32.to_bits())); // gamma - 1
+    entry.write(FA1, u64::from(0.5f32.to_bits()));
+
+    Kernel {
+        name: "cfd",
+        description: "per-cell Euler flux contribution with FP divide",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0xE0, n, 0.5, 2.0) },
+            MemInit { addr: DATA_B, words: f32_data(0xE1, n, -1.0, 1.0) },
+            MemInit { addr: DATA_C, words: f32_data(0xE2, n, 1.0, 3.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A3, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn flux_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        let rho = f32::from_bits(k.init[0].words[0]);
+        let m = f32::from_bits(k.init[1].words[0]);
+        let e = f32::from_bits(k.init[2].words[0]);
+        let ke = m * m / rho;
+        let expect = (ke + (e - ke) * 0.4) * 0.5;
+        let got = f32::from_bits(mem.load(DATA_OUT, 4) as u32);
+        assert!((got - expect).abs() < 1e-3, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn metadata() {
+        let k = build(KernelSize::Small);
+        assert!(k.fp);
+        assert!(k.program.instrs.iter().any(|i| i.op == mesa_isa::Opcode::FdivS));
+    }
+}

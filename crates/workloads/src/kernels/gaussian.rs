@@ -1,0 +1,93 @@
+//! `gaussian` — Gaussian elimination (Rodinia): one row-reduction step of
+//! the lower-triangular sweep, `m[j] = a[kj] / pivot; a'[j] -= m[j] * b[j]`,
+//! computing and storing the multiplier row.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // a[k][j] (row being eliminated)
+    a.flw(FT1, A2, 0); // b[j] (pivot row)
+    a.fdiv_s(FT2, FT0, FA0); // multiplier m = a[k][j] / pivot
+    a.fmul_s(FT3, FT2, FT1); // m * b[j]
+    a.fsub_s(FT4, FT0, FT3); // a'[j]
+    a.fsw(FT2, A4, 0); // store multiplier
+    a.fsw(FT4, A0, 0); // update row in place
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("gaussian kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from(2.0f32.to_bits())); // pivot
+
+    Kernel {
+        name: "gaussian",
+        description: "Gaussian elimination row sweep with in-place update",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0x8A, n, 1.0, 8.0) },
+            MemInit { addr: DATA_B, words: f32_data(0x8B, n, 1.0, 8.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn elimination_step_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        for j in 0..8usize {
+            let a0 = f32::from_bits(k.init[0].words[j]);
+            let b = f32::from_bits(k.init[1].words[j]);
+            let m = a0 / 2.0;
+            let updated = a0 - m * b;
+            let got_m = f32::from_bits(mem.load(DATA_OUT + 4 * j as u64, 4) as u32);
+            let got_a = f32::from_bits(mem.load(DATA_A + 4 * j as u64, 4) as u32);
+            assert!((got_m - m).abs() < 1e-4, "multiplier {j}");
+            assert!((got_a - updated).abs() < 1e-3, "update {j}");
+        }
+    }
+
+    #[test]
+    fn two_stores_per_iteration() {
+        let k = build(KernelSize::Small);
+        let stores = k.program.instrs.iter().filter(|i| i.op.is_store()).count();
+        assert_eq!(stores, 2);
+    }
+}

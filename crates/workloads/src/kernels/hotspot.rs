@@ -1,0 +1,97 @@
+//! `hotspot` — thermal simulation (Rodinia): a 1-D slice of the stencil
+//! update `t'[i] = t[i] + step * (power[i] + (t[i-1] + t[i+1] - 2 t[i]) * k)`.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // t[i]
+    a.flw(FT1, A0, -4); // t[i-1]
+    a.flw(FT2, A0, 4); // t[i+1]
+    a.flw(FT3, A2, 0); // power[i]
+    a.fadd_s(FT4, FT1, FT2);
+    a.fsub_s(FT4, FT4, FT0);
+    a.fsub_s(FT4, FT4, FT0); // laplacian
+    a.fmul_s(FT4, FT4, FA0); // * conductivity
+    a.fadd_s(FT4, FT4, FT3); // + power
+    a.fmul_s(FT4, FT4, FA1); // * step
+    a.fadd_s(FT4, FT4, FT0); // + t[i]
+    a.fsw(FT4, A4, 0);
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("hotspot kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    // Start at element 1 so t[i-1] is in range.
+    entry.write(A0, DATA_A + 4);
+    entry.write(A1, DATA_A + 4 + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from(0.1f32.to_bits()));
+    entry.write(FA1, u64::from(0.01f32.to_bits()));
+
+    Kernel {
+        name: "hotspot",
+        description: "1-D thermal stencil update",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0xD0, n + 2, 40.0, 90.0) },
+            MemInit { addr: DATA_B, words: f32_data(0xD1, n, 0.0, 5.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn stencil_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        let t = |i: usize| f32::from_bits(k.init[0].words[i]);
+        let p = |i: usize| f32::from_bits(k.init[1].words[i]);
+        // First processed element is index 1 of the t array.
+        let lap = t(0) + t(2) - 2.0 * t(1);
+        let expect = t(1) + (lap * 0.1 + p(0)) * 0.01;
+        let got = f32::from_bits(mem.load(DATA_OUT, 4) as u32);
+        assert!((got - expect).abs() < 1e-3, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn metadata() {
+        let k = build(KernelSize::Small);
+        assert!(k.fp && k.annotation.is_some());
+        let (start, end) = k.loop_region();
+        assert_eq!((end - start) / 4, 16);
+    }
+}

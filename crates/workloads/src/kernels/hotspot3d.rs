@@ -1,0 +1,110 @@
+//! `hotspot3D` — 3-D thermal simulation (Rodinia): the seven-point stencil
+//! update over a flattened 3-D grid, one z-plane row at a time.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Row length of the simulated grid (x dimension), in elements.
+const ROW: i64 = 32;
+/// Plane size (x × y), in elements; kept under 512 so the ±plane stencil
+/// taps stay within the 12-bit load-offset range.
+const PLANE: i64 = 32 * 8;
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // center
+    a.flw(FT1, A0, -4); // west
+    a.flw(FT2, A0, 4); // east
+    a.flw(FT3, A0, -(4 * ROW)); // north
+    a.flw(FT4, A0, 4 * ROW); // south
+    a.flw(FT5, A0, -(4 * PLANE)); // below
+    a.flw(FT6, A0, 4 * PLANE); // above
+    a.flw(FT7, A2, 0); // power
+    a.fadd_s(FT1, FT1, FT2);
+    a.fadd_s(FT3, FT3, FT4);
+    a.fadd_s(FT5, FT5, FT6);
+    a.fadd_s(FT1, FT1, FT3);
+    a.fadd_s(FT1, FT1, FT5); // Σ neighbors
+    a.fmul_s(FT2, FT0, FA0); // 6c · center (FA0 = -6·k pre-folded)
+    a.fadd_s(FT1, FT1, FT2); // laplacian-ish
+    a.fmul_s(FT1, FT1, FA1); // · step
+    a.fadd_s(FT1, FT1, FT7); // + power
+    a.fadd_s(FT1, FT1, FT0); // + center
+    a.fsw(FT1, A4, 0);
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("hotspot3d kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    // Start one plane + one row + one element in, so all neighbors exist.
+    let start = DATA_A + 4 * (PLANE + ROW + 1) as u64;
+    entry.write(A0, start);
+    entry.write(A1, start + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from((-0.6f32).to_bits()));
+    entry.write(FA1, u64::from(0.05f32.to_bits()));
+
+    let total = n + 2 * PLANE as u64 + 2 * ROW as u64 + 2;
+    Kernel {
+        name: "hotspot3D",
+        description: "7-point 3-D thermal stencil over a flattened grid",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0xAA, total, 40.0, 90.0) },
+            MemInit { addr: DATA_B, words: f32_data(0xAB, n, 0.0, 5.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn stencil_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        let t = |i: i64| f32::from_bits(k.init[0].words[(PLANE + ROW + 1 + i) as usize]);
+        let p = f32::from_bits(k.init[1].words[0]);
+        let neighbors = t(-1) + t(1) + t(-ROW) + t(ROW) + t(-PLANE) + t(PLANE);
+        let expect = (neighbors + t(0) * -0.6) * 0.05 + p + t(0);
+        let got = f32::from_bits(mem.load(DATA_OUT, 4) as u32);
+        assert!((got - expect).abs() < 1e-2, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn seven_point_stencil_shape() {
+        let k = build(KernelSize::Small);
+        let loads = k.program.instrs.iter().filter(|i| i.op.is_load()).count();
+        assert_eq!(loads, 8, "7 stencil taps + power");
+    }
+}

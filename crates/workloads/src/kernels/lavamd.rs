@@ -1,0 +1,108 @@
+//! `lavamd` — molecular dynamics (Rodinia): the pairwise force
+//! contribution between a particle and one neighbor, using the softened
+//! inverse-square kernel `f = q / (r² + eps)` applied to the distance of
+//! packed xyz coordinates.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    // Packed xyz of the neighbor (12-byte stride), one line apart.
+    a.flw(FT0, A0, 0); // x
+    a.flw(FT1, A0, 4); // y
+    a.flw(FT2, A0, 8); // z
+    a.flw(FT3, A2, 0); // charge q
+    a.fsub_s(FT0, FT0, FA0); // dx
+    a.fsub_s(FT1, FT1, FA1); // dy
+    a.fsub_s(FT2, FT2, FA2); // dz
+    a.fmul_s(FT0, FT0, FT0);
+    a.fmul_s(FT1, FT1, FT1);
+    a.fmul_s(FT2, FT2, FT2);
+    a.fadd_s(FT4, FT0, FT1);
+    a.fadd_s(FT4, FT4, FT2); // r²
+    a.fadd_s(FT4, FT4, FA3); // r² + eps
+    a.fdiv_s(FT5, FT3, FT4); // q / (r² + eps)
+    a.fsw(FT5, A4, 0); // force magnitude
+    a.addi(A0, A0, 12);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("lavamd kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 12 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from(0.5f32.to_bits())); // particle x
+    entry.write(FA1, u64::from(0.5f32.to_bits())); // particle y
+    entry.write(FA2, u64::from(0.5f32.to_bits())); // particle z
+    entry.write(FA3, u64::from(0.01f32.to_bits())); // eps
+
+    Kernel {
+        name: "lavamd",
+        description: "pairwise particle force with softened inverse-square kernel",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0x9A, 3 * n, 0.0, 1.0) },
+            MemInit { addr: DATA_B, words: f32_data(0x9B, n, -1.0, 1.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 12,
+            followers: vec![(A2, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn force_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        let c = |i: usize| f32::from_bits(k.init[0].words[i]);
+        let q = f32::from_bits(k.init[1].words[0]);
+        let (dx, dy, dz) = (c(0) - 0.5, c(1) - 0.5, c(2) - 0.5);
+        let expect = q / (dx * dx + dy * dy + dz * dz + 0.01);
+        let got = f32::from_bits(mem.load(DATA_OUT, 4) as u32);
+        assert!((got - expect).abs() < 1e-3, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn vectorizable_coordinate_loads() {
+        let k = build(KernelSize::Small);
+        let loads: Vec<i64> = k
+            .program
+            .instrs
+            .iter()
+            .filter(|i| i.op.is_load() && i.rs1 == Some(A0))
+            .map(|i| i.imm)
+            .collect();
+        assert_eq!(loads, vec![0, 4, 8], "xyz loads share a base and line");
+    }
+}

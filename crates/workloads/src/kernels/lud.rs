@@ -1,0 +1,87 @@
+//! `lud` — LU decomposition (Rodinia): the row-elimination inner step
+//! `a[j] -= factor * pivot_row[j]`, updating `a` in place.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Simd);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // a[j]
+    a.flw(FT1, A2, 0); // pivot_row[j]
+    a.fmul_s(FT1, FT1, FA0); // * factor
+    a.fsub_s(FT0, FT0, FT1);
+    a.fsw(FT0, A0, 0); // in place
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("lud kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(FA0, u64::from(0.5f32.to_bits()));
+
+    Kernel {
+        name: "lud",
+        description: "LU row elimination: a[j] -= factor * pivot[j], in place",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0x3A, n, 1.0, 10.0) },
+            MemInit { addr: DATA_B, words: f32_data(0x3B, n, 1.0, 10.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Simd),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn elimination_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        for i in 0..8usize {
+            let a0 = f32::from_bits(k.init[0].words[i]);
+            let p = f32::from_bits(k.init[1].words[i]);
+            let expect = a0 - 0.5 * p;
+            let got = f32::from_bits(mem.load(DATA_A + 4 * i as u64, 4) as u32);
+            assert!((got - expect).abs() < 1e-4, "element {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn updates_in_place() {
+        let k = build(KernelSize::Small);
+        // Load and store share the same base register and offset.
+        let lw = k.program.instrs.iter().position(|i| i.op.is_load()).unwrap();
+        let sw = k.program.instrs.iter().position(|i| i.op.is_store()).unwrap();
+        assert_eq!(k.program.instrs[lw].rs1, k.program.instrs[sw].rs1);
+        assert!(lw < sw);
+    }
+}

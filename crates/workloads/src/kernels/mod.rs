@@ -1,0 +1,18 @@
+//! The Rodinia-style benchmark kernels, one module each.
+
+pub mod backprop;
+pub mod gaussian;
+pub mod hotspot3d;
+pub mod lavamd;
+pub mod particlefilter;
+pub mod bfs;
+pub mod btree;
+pub mod cfd;
+pub mod hotspot;
+pub mod kmeans;
+pub mod lud;
+pub mod nn;
+pub mod nw;
+pub mod pathfinder;
+pub mod srad;
+pub mod streamcluster;

@@ -1,0 +1,108 @@
+//! `nn` — nearest neighbor (Rodinia): Euclidean distance from every record
+//! to a target coordinate.
+//!
+//! This is the kernel the paper uses for its PE-scaling (Fig. 15) and
+//! amortization (Fig. 16) studies; it is "small enough to fit on just 16
+//! PEs". The hot loop loads a latitude/longitude pair, subtracts the
+//! target, squares, sums, square-roots, and stores the distance.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // lat[i]
+    a.flw(FT1, A2, 0); // lng[i]
+    a.fsub_s(FT0, FT0, FA0); // dlat
+    a.fsub_s(FT1, FT1, FA1); // dlng
+    a.fmul_s(FT0, FT0, FT0);
+    a.fmul_s(FT1, FT1, FT1);
+    a.fadd_s(FT2, FT0, FT1);
+    a.fsqrt_s(FT2, FT2);
+    a.fsw(FT2, A4, 0); // dist[i]
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("nn kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from(30.0f32.to_bits())); // target lat
+    entry.write(FA1, u64::from((-60.0f32).to_bits())); // target lng
+
+    Kernel {
+        name: "nn",
+        description: "Euclidean distance from records to a target coordinate",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0xA0, n, 0.0, 90.0) },
+            MemInit { addr: DATA_B, words: f32_data(0xB0, n, -180.0, 180.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn computes_euclidean_distance() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        // Check element 0 against a host-side computation.
+        let lat = f32::from_bits(k.init[0].words[0]);
+        let lng = f32::from_bits(k.init[1].words[0]);
+        let expect = ((lat - 30.0).powi(2) + (lng + 60.0).powi(2)).sqrt();
+        let got = f32::from_bits(mem.load(DATA_OUT, 4) as u32);
+        assert!((got - expect).abs() < 1e-3, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn covers_all_records() {
+        let k = build(KernelSize::Tiny);
+        let (st, mut mem) = run_functional(&k);
+        assert_eq!(st.read(A0), DATA_A + 4 * k.iterations);
+        let last = f32::from_bits(mem.load(DATA_OUT + 4 * (k.iterations - 1), 4) as u32);
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn metadata() {
+        let k = build(KernelSize::Small);
+        assert!(k.fp);
+        assert!(k.annotation.is_some());
+        assert_eq!(k.iterations, 4096);
+        let (start, end) = k.loop_region();
+        assert_eq!((end - start) / 4, 13, "13-instruction body");
+    }
+}

@@ -1,0 +1,110 @@
+//! `nw` — Needleman-Wunsch sequence alignment (Rodinia): one anti-diagonal
+//! cell update with a true loop-carried dependency (the left neighbor),
+//! computed branch-free.
+//!
+//! The carried `left` value is a register reduction, so iterations are
+//! *not* independent: MESA maps it spatially but cannot tile it, and the
+//! recurrence bounds pipelining — the control/dependence-heavy end of the
+//! benchmark spectrum.
+
+use crate::common::{
+    entry_at, u32_data, Kernel, KernelSize, MemInit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, Reg};
+
+/// Emits branch-free `dst = max(x, y)` (signed):
+/// `t = -(x < y); dst = x ^ ((x ^ y) & t)`.
+fn emit_max(a: &mut Asm, dst: Reg, x: Reg, y: Reg, scratch: Reg) {
+    a.slt(scratch, x, y);
+    a.sub(scratch, ZERO, scratch);
+    a.xor(dst, x, y);
+    a.and(dst, dst, scratch);
+    a.xor(dst, dst, x);
+}
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.label("loop");
+    a.lw(T0, A2, 0); // up[i]
+    a.lw(T1, A2, -4); // diag = up[i-1]
+    a.lw(T2, A0, 0); // score[i]
+    a.add(T1, T1, T2); // diag + score
+    a.addi(T0, T0, -1); // up + gap
+    a.addi(T3, S0, -1); // left(carried) + gap
+    emit_max(&mut a, T4, T1, T0, T5);
+    emit_max(&mut a, S0, T4, T3, T5); // S0 carries `left` to the next cell
+    a.sw(S0, A4, 0);
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("nw kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B + 4);
+    entry.write(A4, DATA_OUT);
+    entry.write(S0, 0); // left boundary
+
+    Kernel {
+        name: "nw",
+        description: "Needleman-Wunsch cell update with a carried `left` recurrence",
+        program,
+        entry,
+        init: vec![
+            MemInit {
+                addr: DATA_A,
+                // Scores in [-5, 5): generate unsigned then bias.
+                words: u32_data(0x6A, n, 10).into_iter().map(|v| v.wrapping_sub(5)).collect(),
+            },
+            MemInit { addr: DATA_B, words: u32_data(0x6B, n + 2, 50) },
+        ],
+        iterations: n,
+        // Rodinia parallelizes across the anti-diagonal; within this cell
+        // stream the recurrence is inherently serial.
+        annotation: None,
+        split: None,
+        fp: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn recurrence_matches_host_dp() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        let score = |i: usize| k.init[0].words[i] as i32;
+        let up = |i: usize| k.init[1].words[i] as i32;
+        let mut left = 0i32;
+        for i in 0..32usize {
+            let diag = up(i) + score(i);
+            let cell = diag.max(up(i + 1) - 1).max(left - 1);
+            left = cell;
+            let got = mem.load(DATA_OUT + 4 * i as u64, 4) as u32 as i32;
+            assert_eq!(got, cell, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn is_serial() {
+        let k = build(KernelSize::Small);
+        assert!(k.annotation.is_none());
+        assert!(k.split.is_none());
+    }
+}

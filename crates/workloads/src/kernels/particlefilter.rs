@@ -1,0 +1,106 @@
+//! `particlefilter` — particle filter (Rodinia): the weight-update step,
+//! `w'[i] = w[i] * exp_approx(-(z - x[i])²/2σ²)`, with the exponential
+//! approximated by the first Taylor terms (the accelerator has no
+//! transcendental unit; Rodinia's own float version uses a similar
+//! polynomial inside its kernel loops).
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // particle x[i]
+    a.flw(FT1, A2, 0); // weight w[i]
+    a.fsub_s(FT0, FT0, FA0); // d = x - z
+    a.fmul_s(FT0, FT0, FT0); // d²
+    a.fmul_s(FT0, FT0, FA1); // u = d²/2σ²
+    // exp(-u) ≈ 1 - u + u²/2 (u small for plausible particles)
+    a.fmul_s(FT2, FT0, FT0); // u²
+    a.fmul_s(FT2, FT2, FA2); // u²/2
+    a.fsub_s(FT3, FA3, FT0); // 1 - u
+    a.fadd_s(FT3, FT3, FT2); // + u²/2
+    a.fmul_s(FT3, FT3, FT1); // w · exp(-u)
+    a.fsw(FT3, A4, 0);
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("particlefilter kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from(0.5f32.to_bits())); // observation z
+    entry.write(FA1, u64::from(0.125f32.to_bits())); // 1/2σ²
+    entry.write(FA2, u64::from(0.5f32.to_bits()));
+    entry.write(FA3, u64::from(1.0f32.to_bits()));
+
+    Kernel {
+        name: "particlefilter",
+        description: "particle weight update with polynomial Gaussian likelihood",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0xBA, n, 0.0, 1.0) },
+            MemInit { addr: DATA_B, words: f32_data(0xBB, n, 0.1, 1.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn weight_update_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        for i in 0..8usize {
+            let x = f32::from_bits(k.init[0].words[i]);
+            let w = f32::from_bits(k.init[1].words[i]);
+            let u = (x - 0.5) * (x - 0.5) * 0.125;
+            let expect = w * (1.0 - u + u * u * 0.5);
+            let got = f32::from_bits(mem.load(DATA_OUT + 4 * i as u64, 4) as u32);
+            assert!((got - expect).abs() < 1e-4, "particle {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn polynomial_stays_positive_for_small_u() {
+        // Sanity on the approximation itself: weights must remain
+        // positive likelihoods over the data range used.
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        for i in 0..k.iterations {
+            let got = f32::from_bits(mem.load(DATA_OUT + 4 * i, 4) as u32);
+            assert!(got > 0.0, "weight {i} went non-positive: {got}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! `pathfinder` — grid dynamic programming (Rodinia): one row step of
+//! `dst[i] = wall[i] + min(prev[i-1], prev[i], prev[i+1])`, with the mins
+//! computed branch-free so the whole body maps spatially.
+
+use crate::common::{
+    entry_at, u32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind, Reg};
+
+/// Emits branch-free `dst = min(x, y)` (signed):
+/// `t = -(x < y); dst = y ^ ((x ^ y) & t)`.
+fn emit_min(a: &mut Asm, dst: Reg, x: Reg, y: Reg, scratch: Reg) {
+    a.slt(scratch, x, y);
+    a.sub(scratch, ZERO, scratch);
+    a.xor(dst, x, y);
+    a.and(dst, dst, scratch);
+    a.xor(dst, dst, y);
+}
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    a.lw(T0, A2, -4); // prev[i-1]
+    a.lw(T1, A2, 0); // prev[i]
+    a.lw(T2, A2, 4); // prev[i+1]
+    a.lw(T3, A0, 0); // wall[i]
+    emit_min(&mut a, T4, T0, T1, T5);
+    emit_min(&mut a, T4, T4, T2, T5);
+    a.add(T4, T4, T3);
+    a.sw(T4, A4, 0);
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("pathfinder kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B + 4); // start at element 1 so [i-1] is in range
+    entry.write(A4, DATA_OUT);
+
+    Kernel {
+        name: "pathfinder",
+        description: "DP row step with branch-free 3-way min",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: u32_data(0x2A, n, 10) },
+            MemInit { addr: DATA_B, words: u32_data(0x2B, n + 2, 100) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A4, 4)],
+        }),
+        fp: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn min_of_three_plus_wall() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        for i in 0..16usize {
+            let prev = &k.init[1].words;
+            let expect = k.init[0].words[i]
+                + prev[i].min(prev[i + 1]).min(prev[i + 2]);
+            let got = mem.load(DATA_OUT + 4 * i as u64, 4) as u32;
+            assert_eq!(got, expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn body_is_branch_free_apart_from_loop() {
+        let k = build(KernelSize::Small);
+        let branches = k.program.instrs.iter().filter(|i| i.op.is_branch()).count();
+        assert_eq!(branches, 1, "only the loop-closing branch");
+    }
+}

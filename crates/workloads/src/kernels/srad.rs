@@ -1,0 +1,110 @@
+//! `srad` — speckle-reducing anisotropic diffusion (Rodinia): per-pixel
+//! gradient/laplacian statistics, unrolled 4 pixels per loop iteration.
+//!
+//! The unrolled body is deliberately large (~90 instructions): big enough
+//! to fit M-128/M-512 but *not* the 64-entry M-64 — SRAD is one of the
+//! kernels the paper notes "did not qualify for acceleration" on the small
+//! configuration (Fig. 14 discussion).
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_OUT, TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Pixels processed per loop iteration.
+const UNROLL: u64 = 4;
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements(); // pixels
+    let iters = n / UNROLL;
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Parallel);
+    a.label("loop");
+    for u in 0..UNROLL as i64 {
+        let off = 4 * u;
+        a.flw(FT0, A0, off); // J[i]
+        a.flw(FT1, A0, off - 4); // west
+        a.flw(FT2, A0, off + 4); // east
+        a.fsub_s(FT3, FT1, FT0); // dW
+        a.fsub_s(FT4, FT2, FT0); // dE
+        a.fmul_s(FT5, FT3, FT3); // dW²
+        a.fmul_s(FT6, FT4, FT4); // dE²
+        a.fadd_s(FT5, FT5, FT6); // G²
+        a.fadd_s(FT6, FT3, FT4); // L (laplacian)
+        a.fmul_s(FT7, FT0, FT0); // J²
+        a.fdiv_s(FT5, FT5, FT7); // G²/J²
+        a.fmul_s(FT6, FT6, FA0); // L * q0
+        a.fadd_s(FT5, FT5, FT6); // diffusion stat
+        a.fmul_s(FT5, FT5, FA1); // * lambda
+        a.fadd_s(FT5, FT5, FT0); // J + update
+        a.fsw(FT5, A4, off);
+    }
+    a.addi(A0, A0, 4 * UNROLL as i64);
+    a.addi(A4, A4, 4 * UNROLL as i64);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("srad kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A + 4); // leave room for the west neighbor
+    entry.write(A1, DATA_A + 4 + 4 * n);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from(0.25f32.to_bits()));
+    entry.write(FA1, u64::from(0.125f32.to_bits()));
+
+    Kernel {
+        name: "srad",
+        description: "anisotropic diffusion statistics, 4 pixels unrolled (large body)",
+        program,
+        entry,
+        init: vec![MemInit { addr: DATA_A, words: f32_data(0x4A, n + 2, 1.0, 255.0) }],
+        iterations: iters,
+        annotation: Some(ParallelKind::Parallel),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 16,
+            followers: vec![(A4, 16)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn body_exceeds_m64_but_fits_m128() {
+        let k = build(KernelSize::Small);
+        let (start, end) = k.loop_region();
+        let len = (end - start) / 4;
+        assert!(len > 64, "body of {len} must not fit M-64");
+        assert!(len <= 128, "body of {len} must fit M-128");
+    }
+
+    #[test]
+    fn first_pixel_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        let j = |i: usize| f32::from_bits(k.init[0].words[i]);
+        // First processed pixel is index 1.
+        let (w, c, e) = (j(0), j(1), j(2));
+        let dw = w - c;
+        let de = e - c;
+        let g2 = dw * dw + de * de;
+        let l = dw + de;
+        let expect = (g2 / (c * c) + l * 0.25) * 0.125 + c;
+        let got = f32::from_bits(mem.load(DATA_OUT, 4) as u32);
+        assert!((got - expect).abs() < 1e-2, "got {got}, expect {expect}");
+    }
+}

@@ -1,0 +1,86 @@
+//! `streamcluster` — online clustering (Rodinia): weighted squared
+//! distance of each point to a candidate center.
+
+use crate::common::{
+    entry_at, f32_data, Kernel, KernelSize, MemInit, ParallelSplit, DATA_A, DATA_B, DATA_OUT,
+    TEXT_BASE,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{Asm, ParallelKind};
+
+/// Builds the kernel at the given problem size.
+///
+/// # Panics
+/// Panics only if the internal assembly fails, which would be a bug.
+#[must_use]
+pub fn build(size: KernelSize) -> Kernel {
+    let n = size.elements();
+    let mut a = Asm::new(TEXT_BASE);
+    a.pragma(ParallelKind::Simd);
+    a.label("loop");
+    a.flw(FT0, A0, 0); // x[i]
+    a.flw(FT1, A2, 0); // weight[i]
+    a.fsub_s(FT0, FT0, FA0); // x - center
+    a.fmul_s(FT0, FT0, FT0); // (x - center)²
+    a.fmul_s(FT0, FT0, FT1); // * weight
+    a.fsw(FT0, A4, 0); // cost[i]
+    a.addi(A0, A0, 4);
+    a.addi(A2, A2, 4);
+    a.addi(A4, A4, 4);
+    a.bltu(A0, A1, "loop");
+    a.end_pragma();
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("streamcluster kernel assembles");
+
+    let mut entry = entry_at(TEXT_BASE);
+    entry.write(A0, DATA_A);
+    entry.write(A1, DATA_A + 4 * n);
+    entry.write(A2, DATA_B);
+    entry.write(A4, DATA_OUT);
+    entry.write(FA0, u64::from(0.5f32.to_bits()));
+
+    Kernel {
+        name: "streamcluster",
+        description: "weighted squared distance to a candidate center",
+        program,
+        entry,
+        init: vec![
+            MemInit { addr: DATA_A, words: f32_data(0x7A, n, 0.0, 1.0) },
+            MemInit { addr: DATA_B, words: f32_data(0x7B, n, 0.5, 2.0) },
+        ],
+        iterations: n,
+        annotation: Some(ParallelKind::Simd),
+        split: Some(ParallelSplit {
+            bounds: (A0, A1),
+            stride: 4,
+            followers: vec![(A2, 4), (A4, 4)],
+        }),
+        fp: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_functional;
+    use mesa_isa::MemoryIo;
+
+    #[test]
+    fn weighted_cost_matches_host_math() {
+        let k = build(KernelSize::Tiny);
+        let (_, mut mem) = run_functional(&k);
+        let x = f32::from_bits(k.init[0].words[0]);
+        let w = f32::from_bits(k.init[1].words[0]);
+        let expect = (x - 0.5) * (x - 0.5) * w;
+        let got = f32::from_bits(mem.load(DATA_OUT, 4) as u32);
+        assert!((got - expect).abs() < 1e-5, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn metadata() {
+        let k = build(KernelSize::Small);
+        assert!(k.fp);
+        assert_eq!(k.annotation, Some(ParallelKind::Simd));
+    }
+}

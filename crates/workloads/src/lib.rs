@@ -1,0 +1,138 @@
+//! Rodinia-style benchmark kernels for the MESA reproduction.
+//!
+//! The paper evaluates MESA on the Rodinia suite cross-compiled to RV32G.
+//! MESA only ever observes a benchmark's *hot loop* machine code, so each
+//! kernel here is that hot loop hand-written in the `mesa-isa` assembler
+//! DSL with the same operation mix, memory access pattern, and OpenMP
+//! annotations as the original (substitution documented in `DESIGN.md`).
+//! Data is synthesized deterministically from fixed seeds.
+//!
+//! # Example
+//!
+//! ```
+//! use mesa_workloads::{by_name, KernelSize};
+//! let nn = by_name("nn", KernelSize::Tiny).expect("nn exists");
+//! let (state, _mem) = mesa_workloads::run_functional(&nn);
+//! assert_eq!(state.pc, nn.program.base_pc + 4 * (nn.program.len() as u64 - 1));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod kernels;
+
+pub use common::{
+    entry_at, f32_data, run_functional, u32_data, Kernel, KernelSize, MemInit, ParallelSplit,
+    DATA_A, DATA_B, DATA_C, DATA_OUT, TEXT_BASE,
+};
+
+/// Names of every kernel, in the order `all` returns them.
+pub const KERNEL_NAMES: [&str; 16] = [
+    "backprop", "bfs", "btree", "cfd", "gaussian", "hotspot", "hotspot3D",
+    "kmeans", "lavamd", "lud", "nn", "nw", "particlefilter", "pathfinder",
+    "srad", "streamcluster",
+];
+
+/// The eight kernels used for the OpenCGRA comparison (Fig. 12) — the
+/// subset "that are compatible" with the baseline scheduler.
+pub const OPENCGRA_COMPATIBLE: [&str; 8] = [
+    "backprop", "cfd", "hotspot", "kmeans", "lud", "nn", "pathfinder", "streamcluster",
+];
+
+/// The kernels shared with the DynaSpAM evaluation (Fig. 14).
+pub const DYNASPAM_SHARED: [&str; 8] = [
+    "backprop", "btree", "hotspot", "kmeans", "lud", "nn", "pathfinder", "srad",
+];
+
+/// The four kernels the paper averages for the power breakdown (Fig. 13).
+pub const POWER_BREAKDOWN_SET: [&str; 4] = ["nn", "kmeans", "hotspot", "cfd"];
+
+/// Builds every kernel at the given size.
+#[must_use]
+pub fn all(size: KernelSize) -> Vec<Kernel> {
+    KERNEL_NAMES
+        .iter()
+        .map(|name| by_name(name, size).expect("registered kernel"))
+        .collect()
+}
+
+/// Builds one kernel by Rodinia name.
+#[must_use]
+pub fn by_name(name: &str, size: KernelSize) -> Option<Kernel> {
+    let k = match name {
+        "backprop" => kernels::backprop::build(size),
+        "gaussian" => kernels::gaussian::build(size),
+        "hotspot3D" => kernels::hotspot3d::build(size),
+        "lavamd" => kernels::lavamd::build(size),
+        "particlefilter" => kernels::particlefilter::build(size),
+        "bfs" => kernels::bfs::build(size),
+        "btree" => kernels::btree::build(size),
+        "cfd" => kernels::cfd::build(size),
+        "hotspot" => kernels::hotspot::build(size),
+        "kmeans" => kernels::kmeans::build(size),
+        "lud" => kernels::lud::build(size),
+        "nn" => kernels::nn::build(size),
+        "nw" => kernels::nw::build(size),
+        "pathfinder" => kernels::pathfinder::build(size),
+        "srad" => kernels::srad::build(size),
+        "streamcluster" => kernels::streamcluster::build(size),
+        _ => return None,
+    };
+    Some(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        let all = all(KernelSize::Tiny);
+        assert_eq!(all.len(), KERNEL_NAMES.len());
+        for (k, name) in all.iter().zip(KERNEL_NAMES) {
+            assert_eq!(k.name, name);
+        }
+        assert!(by_name("nope", KernelSize::Tiny).is_none());
+    }
+
+    #[test]
+    fn every_kernel_halts_functionally() {
+        for kernel in all(KernelSize::Tiny) {
+            let (_, _) = run_functional(&kernel);
+        }
+    }
+
+    #[test]
+    fn every_kernel_has_one_hot_loop_region() {
+        for kernel in all(KernelSize::Tiny) {
+            let (start, end) = kernel.loop_region();
+            assert!(end > start, "{}: empty region", kernel.name);
+            assert!(
+                kernel.program.fetch(start).is_some(),
+                "{}: region start outside program",
+                kernel.name
+            );
+        }
+    }
+
+    #[test]
+    fn subsets_reference_registered_kernels() {
+        for name in OPENCGRA_COMPATIBLE.iter().chain(&DYNASPAM_SHARED).chain(&POWER_BREAKDOWN_SET) {
+            assert!(by_name(name, KernelSize::Tiny).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn annotated_kernels_carry_program_annotations() {
+        for kernel in all(KernelSize::Tiny) {
+            let (start, _) = kernel.loop_region();
+            if kernel.annotation.is_some() {
+                assert!(
+                    kernel.program.annotation_at(start).is_some(),
+                    "{}: pragma missing from program",
+                    kernel.name
+                );
+            }
+        }
+    }
+}

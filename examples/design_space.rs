@@ -1,0 +1,70 @@
+//! Design-space exploration: sweep accelerator geometry, memory ports, and
+//! mapper policy for one kernel, and print the resulting cycles — the kind
+//! of study the paper's §6.2 "PE Scaling" section performs, generalized.
+//!
+//! Run with: `cargo run --release --example design_space [kernel]`
+
+use mesa::accel::AccelConfig;
+use mesa::core::{run_offload, SystemConfig, WindowMode};
+use mesa::mem::{MemConfig, MemorySystem};
+use mesa::workloads::{by_name, KernelSize};
+
+fn measure(kernel_name: &str, mutate: impl FnOnce(&mut SystemConfig)) -> Option<(u64, usize, bool)> {
+    let kernel = by_name(kernel_name, KernelSize::Small)?;
+    let mut system = SystemConfig::m128();
+    mutate(&mut system);
+    let mut mem = MemorySystem::new(MemConfig::default(), 2);
+    kernel.populate(mem.data_mut());
+    let mut state = kernel.entry.clone();
+    let report = run_offload(&kernel.program, &mut state, &mut mem, &system).ok()?;
+    Some((report.accel_cycles, report.tiles, report.pipelined))
+}
+
+fn main() {
+    let kernel = std::env::args().nth(1).unwrap_or_else(|| "nn".into());
+    println!("design-space sweep for `{kernel}` (accelerator cycles, lower is better)\n");
+
+    println!("— geometry —");
+    for pes in [32usize, 64, 128, 256, 512] {
+        if let Some((cycles, tiles, _)) =
+            measure(&kernel, |s| s.accel = AccelConfig::with_pes(pes))
+        {
+            println!("  {pes:>4} PEs: {cycles:>8} cycles  ({tiles} tiles)");
+        }
+    }
+
+    println!("\n— memory ports (128 PEs) —");
+    for ports in [1usize, 2, 4, 8, 16] {
+        if let Some((cycles, ..)) = measure(&kernel, |s| s.accel.mem_ports = ports) {
+            println!("  {ports:>4} ports: {cycles:>8} cycles");
+        }
+    }
+
+    println!("\n— mapper candidate window —");
+    for (rows, cols) in [(2usize, 4usize), (4, 8), (8, 8)] {
+        if let Some((cycles, ..)) = measure(&kernel, |s| {
+            s.mapper.window_rows = rows;
+            s.mapper.window_cols = cols;
+        }) {
+            println!("  {rows}x{cols:<2} window: {cycles:>8} cycles");
+        }
+    }
+    if let Some((cycles, ..)) =
+        measure(&kernel, |s| s.mapper.window_mode = WindowMode::PredecessorRect)
+    {
+        println!("  predecessor-rect:   {cycles:>6} cycles");
+    }
+
+    println!("\n— optimization toggles —");
+    let toggles: [(&str, fn(&mut SystemConfig)); 4] = [
+        ("all on (default)", |_| {}),
+        ("no tiling", |s| s.opts.tiling = false),
+        ("no pipelining", |s| s.opts.pipelining = false),
+        ("no memory opts", |s| s.opts.memory_opts = false),
+    ];
+    for (label, f) in toggles {
+        if let Some((cycles, tiles, piped)) = measure(&kernel, f) {
+            println!("  {label:<18} {cycles:>8} cycles  (tiles={tiles}, pipelined={piped})");
+        }
+    }
+}
