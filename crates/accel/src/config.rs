@@ -25,7 +25,7 @@ impl FpPattern {
             FpPattern::None => false,
             FpPattern::All => true,
             // 2x2 slices in a checkerboard: half the array.
-            FpPattern::HalfSlices => (c.row / 2 + c.col / 2) % 2 == 0,
+            FpPattern::HalfSlices => (c.row / 2 + c.col / 2).is_multiple_of(2),
         }
     }
 }

@@ -227,14 +227,14 @@ impl SpatialAccelerator {
                 break;
             }
             let mut any = false;
-            for t in 0..tiles {
-                if !tile_states[t].running {
+            for (t, tile_state) in tile_states.iter_mut().enumerate().take(tiles) {
+                if !tile_state.running {
                     continue;
                 }
                 any = true;
                 self.run_iteration(
                     prog,
-                    &mut tile_states[t],
+                    tile_state,
                     &mut fabric,
                     mem,
                     requester,

@@ -8,7 +8,15 @@ use mesa_accel::{
 use mesa_isa::reg::abi::*;
 use mesa_isa::{ArchState, Instruction, Opcode, Xlen};
 use mesa_mem::{MemConfig, MemorySystem};
-use proptest::prelude::*;
+use mesa_test::{forall, prop_assert, prop_assert_eq, Checker, Regressions};
+
+/// Persisted counterexample seeds, replayed before novel cases.
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/engine_proptest.proptest-regressions");
+
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(48).regressions_file(REGRESSIONS)
+}
 
 /// Builds a counter loop with a chain of `n_ops` dependent adds whose
 /// final value feeds a store, iterating `bound` times.
@@ -91,19 +99,19 @@ fn run(prog: &AccelProgram, bound: u64, cfg: AccelConfig) -> mesa_accel::AccelRu
     accel.execute(prog, &entry, &mut mem, 0, 1_000_000).expect("runs")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn iteration_count_is_exact(bound in 1u64..200, chain in 1usize..12) {
+#[test]
+fn iteration_count_is_exact() {
+    forall!(checker("engine::iteration_count_is_exact"), |(bound in 1u64..200, chain in 1usize..12)| {
         let prog = chain_program(chain, false);
         let r = run(&prog, bound, AccelConfig::m128());
         prop_assert!(r.completed);
         prop_assert_eq!(r.iterations, bound);
-    }
+    });
+}
 
-    #[test]
-    fn accumulator_matches_host_math(bound in 1u64..100, chain in 1usize..10) {
+#[test]
+fn accumulator_matches_host_math() {
+    forall!(checker("engine::accumulator_matches_host_math"), |(bound in 1u64..100, chain in 1usize..10)| {
         let prog = chain_program(chain, false);
         let r = run(&prog, bound, AccelConfig::m128());
         // Node 0 accumulates +3 per iteration on its own carried output;
@@ -111,10 +119,12 @@ proptest! {
         let expect = bound * 3 + chain as u64;
         let (_, t1) = r.final_regs.iter().find(|(reg, _)| *reg == T1).copied().unwrap();
         prop_assert_eq!(t1, expect);
-    }
+    });
+}
 
-    #[test]
-    fn pipelining_never_slows_down(bound in 2u64..80, chain in 1usize..10) {
+#[test]
+fn pipelining_never_slows_down() {
+    forall!(checker("engine::pipelining_never_slows_down"), |(bound in 2u64..80, chain in 1usize..10)| {
         let plain = run(&chain_program(chain, false), bound, AccelConfig::m128());
         let piped = run(&chain_program(chain, true), bound, AccelConfig::m128());
         prop_assert_eq!(plain.iterations, piped.iterations);
@@ -122,29 +132,69 @@ proptest! {
             piped.cycles <= plain.cycles,
             "pipelined {} > barrier {}", piped.cycles, plain.cycles
         );
-    }
+    });
+}
 
-    #[test]
-    fn more_iterations_cost_more_cycles(bound in 2u64..80, chain in 1usize..8) {
+#[test]
+fn more_iterations_cost_more_cycles() {
+    forall!(checker("engine::more_iterations_cost_more_cycles"), |(bound in 2u64..80, chain in 1usize..8)| {
         let prog = chain_program(chain, false);
         let short = run(&prog, bound, AccelConfig::m128());
         let long = run(&prog, bound * 2, AccelConfig::m128());
         prop_assert!(long.cycles > short.cycles);
-    }
+    });
+}
 
-    #[test]
-    fn longer_chains_cost_more_per_iteration(bound in 4u64..40) {
+#[test]
+fn longer_chains_cost_more_per_iteration() {
+    forall!(checker("engine::longer_chains_cost_more_per_iteration"), |(bound in 4u64..40)| {
         let shallow = run(&chain_program(2, false), bound, AccelConfig::m128());
         let deep = run(&chain_program(10, false), bound, AccelConfig::m128());
         prop_assert!(deep.cycles > shallow.cycles);
-    }
+    });
+}
 
-    #[test]
-    fn counters_fire_once_per_iteration(bound in 1u64..60, chain in 1usize..8) {
+#[test]
+fn counters_fire_once_per_iteration() {
+    forall!(checker("engine::counters_fire_once_per_iteration"), |(bound in 1u64..60, chain in 1usize..8)| {
         let prog = chain_program(chain, false);
         let r = run(&prog, bound, AccelConfig::m128());
         for (i, ctr) in r.counters.nodes.iter().enumerate() {
             prop_assert_eq!(ctr.fires, bound, "node {} fired {} times", i, ctr.fires);
         }
-    }
+    });
+}
+
+/// The persisted regression seeds must parse, load, and actually replay
+/// on every run (they execute before any fresh random case).
+#[test]
+fn regression_seeds_load_and_replay() {
+    let regs = Regressions::load(REGRESSIONS);
+    assert_eq!(regs.len(), 3, "expected the three persisted seeds, got {regs:?}");
+
+    let mut replayed = Vec::new();
+    let report = forall!(
+        Checker::new("engine::regression_replay").cases(0).regressions_file(REGRESSIONS),
+        |(bound in 1u64..200, chain in 1usize..12)| {
+            replayed.push((bound, chain));
+            let r = run(&chain_program(chain, false), bound, AccelConfig::m128());
+            prop_assert!(r.completed);
+            prop_assert_eq!(r.iterations, bound);
+        }
+    );
+    assert_eq!(report.regressions_replayed, 3, "all three seeds must replay");
+    assert_eq!(report.cases_run, 0, "cases(0) runs regressions only");
+    assert_eq!(replayed.len(), 3);
+    // Replay is deterministic: the same seeds decode to the same cases.
+    let again = {
+        let mut v = Vec::new();
+        forall!(
+            Checker::new("engine::regression_replay").cases(0).regressions_file(REGRESSIONS),
+            |(bound in 1u64..200, chain in 1usize..12)| {
+                v.push((bound, chain));
+            }
+        );
+        v
+    };
+    assert_eq!(replayed, again);
 }

@@ -197,8 +197,8 @@ impl Ldfg {
             let instr = &region.instrs[idx];
             if instr.op.is_branch() && instr.imm > 0 {
                 let skip_to = idx + (instr.imm / 4) as usize;
-                for guarded in idx + 1..skip_to.min(n) {
-                    nodes[guarded].guards.push(idx as u32);
+                for guarded in &mut nodes[idx + 1..skip_to.min(n)] {
+                    guarded.guards.push(idx as u32);
                 }
             }
         }

@@ -7,7 +7,12 @@ use mesa_accel::{Coord, GridDim, HalfRingModel, HierarchicalRowModel, MeshModel,
 use mesa_core::{map_instructions, Ldfg, MapperConfig, WindowMode};
 use mesa_isa::reg::abi::*;
 use mesa_isa::{Asm, OpClass, Reg};
-use proptest::prelude::*;
+use mesa_test::prop::{any_bool, any_u8, sample, vec as prop_vec};
+use mesa_test::{forall, prop_assert, prop_assert_eq, Checker};
+
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(64)
+}
 
 /// Builds a random but well-formed loop region and returns its LDFG.
 fn random_ldfg(ops: &[u8], shifts: &[u8]) -> Ldfg {
@@ -50,22 +55,20 @@ fn fp(r: Reg) -> Reg {
 
 fn fp_on_even_cols(c: Coord, class: OpClass) -> bool {
     if class.needs_fp() {
-        c.col % 2 == 0
+        c.col.is_multiple_of(2)
     } else {
         true
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn placements_are_unique_and_in_grid(
-        ops in prop::collection::vec(any::<u8>(), 1..40),
-        shifts in prop::collection::vec(any::<u8>(), 1..8),
+#[test]
+fn placements_are_unique_and_in_grid() {
+    forall!(checker("mapper::placements_are_unique_and_in_grid"), |(
+        ops in prop_vec(any_u8(), 1..40),
+        shifts in prop_vec(any_u8(), 1..8),
         rows in 2usize..20,
         cols in 2usize..10,
-    ) {
+    )| {
         let ldfg = random_ldfg(&ops, &shifts);
         let grid = GridDim::new(rows, cols);
         let sdfg = map_instructions(
@@ -84,13 +87,15 @@ proptest! {
                 ),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn f_op_mask_is_respected(
-        ops in prop::collection::vec(any::<u8>(), 1..40),
-        shifts in prop::collection::vec(any::<u8>(), 1..8),
-    ) {
+#[test]
+fn f_op_mask_is_respected() {
+    forall!(checker("mapper::f_op_mask_is_respected"), |(
+        ops in prop_vec(any_u8(), 1..40),
+        shifts in prop_vec(any_u8(), 1..8),
+    )| {
         let ldfg = random_ldfg(&ops, &shifts);
         let grid = GridDim::new(8, 8);
         let sdfg = map_instructions(
@@ -105,13 +110,15 @@ proptest! {
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn estimated_latency_respects_equation_one(
-        ops in prop::collection::vec(any::<u8>(), 1..30),
-        shifts in prop::collection::vec(any::<u8>(), 1..8),
-    ) {
+#[test]
+fn estimated_latency_respects_equation_one() {
+    forall!(checker("mapper::estimated_latency_respects_equation_one"), |(
+        ops in prop_vec(any_u8(), 1..30),
+        shifts in prop_vec(any_u8(), 1..8),
+    )| {
         let ldfg = random_ldfg(&ops, &shifts);
         let grid = GridDim::new(16, 8);
         let sdfg = map_instructions(
@@ -140,15 +147,17 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn all_window_modes_and_models_terminate(
-        ops in prop::collection::vec(any::<u8>(), 1..60),
-        shifts in prop::collection::vec(any::<u8>(), 1..8),
-        mode in prop_oneof![Just(WindowMode::FixedAtAnchor), Just(WindowMode::PredecessorRect)],
-        tie in any::<bool>(),
-    ) {
+#[test]
+fn all_window_modes_and_models_terminate() {
+    forall!(checker("mapper::all_window_modes_and_models_terminate"), |(
+        ops in prop_vec(any_u8(), 1..60),
+        shifts in prop_vec(any_u8(), 1..8),
+        mode in sample(&[WindowMode::FixedAtAnchor, WindowMode::PredecessorRect]),
+        tie in any_bool(),
+    )| {
         let ldfg = random_ldfg(&ops, &shifts);
         let cfg = MapperConfig {
             window_mode: mode,
@@ -170,13 +179,15 @@ proptest! {
             prop_assert!(sdfg.pes_used() <= grid.len());
             prop_assert_eq!(sdfg.placement.len(), ldfg.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn saturated_grid_fails_gracefully(
-        ops in prop::collection::vec(any::<u8>(), 20..60),
-        shifts in prop::collection::vec(any::<u8>(), 1..8),
-    ) {
+#[test]
+fn saturated_grid_fails_gracefully() {
+    forall!(checker("mapper::saturated_grid_fails_gracefully"), |(
+        ops in prop_vec(any_u8(), 20..60),
+        shifts in prop_vec(any_u8(), 1..8),
+    )| {
         let ldfg = random_ldfg(&ops, &shifts);
         let grid = GridDim::new(2, 2); // 4 PEs for 20+ instructions
         let sdfg = map_instructions(
@@ -188,5 +199,5 @@ proptest! {
         for &f in &sdfg.failed {
             prop_assert!(sdfg.est_latency[f as usize] > 0);
         }
-    }
+    });
 }

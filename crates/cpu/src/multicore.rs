@@ -15,6 +15,10 @@ use mesa_mem::{MemConfig, MemorySystem};
 pub struct MulticoreResult {
     /// Per-core results, indexed by core ID.
     pub per_core: Vec<RunResult>,
+    /// Per-core final architectural state, indexed by core ID (the
+    /// live-out registers differential tests compare against a
+    /// single-core golden run).
+    pub final_states: Vec<ArchState>,
     /// Wall-clock cycles: the slowest core.
     pub cycles: u64,
     /// Total instructions retired across all cores.
@@ -75,6 +79,7 @@ impl Multicore {
         let l2_before = self.mem.l2_stats().accesses();
         let dram_before = self.mem.dram_accesses();
         let mut per_core = Vec::with_capacity(self.cores.len());
+        let mut final_states = Vec::with_capacity(self.cores.len());
         for (id, core) in self.cores.iter_mut().enumerate() {
             // Bank schedules model self-contention within one timeline;
             // cross-core pressure is the bandwidth bound below.
@@ -82,13 +87,14 @@ impl Multicore {
             let mut state = make_state(id);
             let r = core.run(program, &mut state, &mut self.mem, id, limits, &mut NullMonitor);
             per_core.push(r);
+            final_states.push(state);
         }
         let slowest = per_core.iter().map(|r| r.cycles).max().unwrap_or(0);
         let l2_demand = self.mem.l2_stats().accesses() - l2_before;
         let dram_demand = self.mem.dram_accesses() - dram_before;
         let cycles = slowest.max(self.mem.bandwidth_bound_cycles(l2_demand, dram_demand));
         let retired = per_core.iter().map(|r| r.retired).sum();
-        MulticoreResult { per_core, cycles, retired }
+        MulticoreResult { per_core, final_states, cycles, retired }
     }
 
     /// Runs `program` on core 0 only (serial region / non-parallel

@@ -310,16 +310,15 @@ impl OoOCore {
                         }
                     }
                 }
-                Outcome::Jump { .. } => {
+                Outcome::Jump { .. }
                     // Direct jumps resolve in decode; JALR may redirect.
-                    if instr.op == mesa_isa::Opcode::Jalr {
+                    if instr.op == mesa_isa::Opcode::Jalr => {
                         let redirect = complete + 1;
                         if redirect > fetch_cycle {
                             fetch_cycle = redirect;
                             fetched_this_cycle = 0;
                         }
                     }
-                }
                 _ => {}
             }
 

@@ -113,7 +113,6 @@ impl Instruction {
     }
 
     /// All source registers including `rs3`, without the `x0` filtering.
-    #[must_use]
     pub fn raw_sources(&self) -> impl Iterator<Item = Reg> + '_ {
         [self.rs1, self.rs2, self.rs3].into_iter().flatten()
     }

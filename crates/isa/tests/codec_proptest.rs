@@ -4,7 +4,16 @@
 //! arbitrary 32-bit words.
 
 use mesa_isa::{codec, Instruction, Opcode, Reg};
-use proptest::prelude::*;
+use mesa_test::prop::{any_u32, one_of, sample, Strategy, StrategyExt};
+use mesa_test::{forall, prop_assert_eq, Checker};
+
+/// Persisted counterexample seeds, replayed before novel cases.
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/codec_proptest.proptest-regressions");
+
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(256).regressions_file(REGRESSIONS)
+}
 
 fn arb_xreg() -> impl Strategy<Value = Reg> {
     (0u8..32).prop_map(Reg::x)
@@ -15,178 +24,186 @@ fn arb_freg() -> impl Strategy<Value = Reg> {
 }
 
 fn arb_int_reg3() -> impl Strategy<Value = Instruction> {
-    let ops = prop_oneof![
-        Just(Opcode::Add),
-        Just(Opcode::Sub),
-        Just(Opcode::Sll),
-        Just(Opcode::Slt),
-        Just(Opcode::Sltu),
-        Just(Opcode::Xor),
-        Just(Opcode::Srl),
-        Just(Opcode::Sra),
-        Just(Opcode::Or),
-        Just(Opcode::And),
-        Just(Opcode::Mul),
-        Just(Opcode::Mulh),
-        Just(Opcode::Mulhsu),
-        Just(Opcode::Mulhu),
-        Just(Opcode::Div),
-        Just(Opcode::Divu),
-        Just(Opcode::Rem),
-        Just(Opcode::Remu),
-        Just(Opcode::Addw),
-        Just(Opcode::Subw),
-        Just(Opcode::Sllw),
-        Just(Opcode::Srlw),
-        Just(Opcode::Sraw),
-    ];
+    let ops = sample(&[
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Sll,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Xor,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Or,
+        Opcode::And,
+        Opcode::Mul,
+        Opcode::Mulh,
+        Opcode::Mulhsu,
+        Opcode::Mulhu,
+        Opcode::Div,
+        Opcode::Divu,
+        Opcode::Rem,
+        Opcode::Remu,
+        Opcode::Addw,
+        Opcode::Subw,
+        Opcode::Sllw,
+        Opcode::Srlw,
+        Opcode::Sraw,
+    ]);
     (ops, arb_xreg(), arb_xreg(), arb_xreg())
         .prop_map(|(op, rd, rs1, rs2)| Instruction::reg3(op, rd, rs1, rs2))
 }
 
 fn arb_reg_imm() -> impl Strategy<Value = Instruction> {
-    let ops = prop_oneof![
-        Just(Opcode::Addi),
-        Just(Opcode::Slti),
-        Just(Opcode::Sltiu),
-        Just(Opcode::Xori),
-        Just(Opcode::Ori),
-        Just(Opcode::Andi),
-        Just(Opcode::Addiw),
-    ];
+    let ops = sample(&[
+        Opcode::Addi,
+        Opcode::Slti,
+        Opcode::Sltiu,
+        Opcode::Xori,
+        Opcode::Ori,
+        Opcode::Andi,
+        Opcode::Addiw,
+    ]);
     (ops, arb_xreg(), arb_xreg(), -2048i64..2048)
         .prop_map(|(op, rd, rs1, imm)| Instruction::reg_imm(op, rd, rs1, imm))
 }
 
 fn arb_shift() -> impl Strategy<Value = Instruction> {
-    let ops = prop_oneof![Just(Opcode::Slli), Just(Opcode::Srli), Just(Opcode::Srai)];
+    let ops = sample(&[Opcode::Slli, Opcode::Srli, Opcode::Srai]);
     (ops, arb_xreg(), arb_xreg(), 0i64..64)
         .prop_map(|(op, rd, rs1, sh)| Instruction::reg_imm(op, rd, rs1, sh))
 }
 
 fn arb_mem() -> impl Strategy<Value = Instruction> {
-    let loads = prop_oneof![
-        Just(Opcode::Lb),
-        Just(Opcode::Lh),
-        Just(Opcode::Lw),
-        Just(Opcode::Lbu),
-        Just(Opcode::Lhu),
-        Just(Opcode::Lwu),
-        Just(Opcode::Ld),
-    ];
-    let stores = prop_oneof![
-        Just(Opcode::Sb),
-        Just(Opcode::Sh),
-        Just(Opcode::Sw),
-        Just(Opcode::Sd),
-    ];
-    prop_oneof![
+    let loads = sample(&[
+        Opcode::Lb,
+        Opcode::Lh,
+        Opcode::Lw,
+        Opcode::Lbu,
+        Opcode::Lhu,
+        Opcode::Lwu,
+        Opcode::Ld,
+    ]);
+    let stores = sample(&[Opcode::Sb, Opcode::Sh, Opcode::Sw, Opcode::Sd]);
+    one_of(vec![
         (loads, arb_xreg(), arb_xreg(), -2048i64..2048)
-            .prop_map(|(op, rd, base, off)| Instruction::load(op, rd, base, off)),
+            .prop_map(|(op, rd, base, off)| Instruction::load(op, rd, base, off))
+            .boxed(),
         (stores, arb_xreg(), arb_xreg(), -2048i64..2048)
-            .prop_map(|(op, src, base, off)| Instruction::store(op, src, base, off)),
+            .prop_map(|(op, src, base, off)| Instruction::store(op, src, base, off))
+            .boxed(),
         (arb_freg(), arb_xreg(), -2048i64..2048)
-            .prop_map(|(rd, base, off)| Instruction::load(Opcode::Flw, rd, base, off)),
+            .prop_map(|(rd, base, off)| Instruction::load(Opcode::Flw, rd, base, off))
+            .boxed(),
         (arb_freg(), arb_xreg(), -2048i64..2048)
-            .prop_map(|(src, base, off)| Instruction::store(Opcode::Fsw, src, base, off)),
-    ]
+            .prop_map(|(src, base, off)| Instruction::store(Opcode::Fsw, src, base, off))
+            .boxed(),
+    ])
 }
 
 fn arb_branch() -> impl Strategy<Value = Instruction> {
-    let ops = prop_oneof![
-        Just(Opcode::Beq),
-        Just(Opcode::Bne),
-        Just(Opcode::Blt),
-        Just(Opcode::Bge),
-        Just(Opcode::Bltu),
-        Just(Opcode::Bgeu),
-    ];
+    let ops = sample(&[
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Bltu,
+        Opcode::Bgeu,
+    ]);
     (ops, arb_xreg(), arb_xreg(), -2048i64..2048)
         .prop_map(|(op, rs1, rs2, off)| Instruction::branch(op, rs1, rs2, off * 2))
 }
 
 fn arb_fp3() -> impl Strategy<Value = Instruction> {
-    let ops = prop_oneof![
-        Just(Opcode::FaddS),
-        Just(Opcode::FsubS),
-        Just(Opcode::FmulS),
-        Just(Opcode::FdivS),
-        Just(Opcode::FminS),
-        Just(Opcode::FmaxS),
-        Just(Opcode::FsgnjS),
-        Just(Opcode::FsgnjnS),
-        Just(Opcode::FsgnjxS),
-    ];
+    let ops = sample(&[
+        Opcode::FaddS,
+        Opcode::FsubS,
+        Opcode::FmulS,
+        Opcode::FdivS,
+        Opcode::FminS,
+        Opcode::FmaxS,
+        Opcode::FsgnjS,
+        Opcode::FsgnjnS,
+        Opcode::FsgnjxS,
+    ]);
     (ops, arb_freg(), arb_freg(), arb_freg())
         .prop_map(|(op, rd, rs1, rs2)| Instruction::reg3(op, rd, rs1, rs2))
 }
 
 fn arb_fp_cmp() -> impl Strategy<Value = Instruction> {
-    let ops = prop_oneof![Just(Opcode::FeqS), Just(Opcode::FltS), Just(Opcode::FleS)];
+    let ops = sample(&[Opcode::FeqS, Opcode::FltS, Opcode::FleS]);
     (ops, arb_xreg(), arb_freg(), arb_freg())
         .prop_map(|(op, rd, rs1, rs2)| Instruction::reg3(op, rd, rs1, rs2))
 }
 
 fn arb_fma() -> impl Strategy<Value = Instruction> {
-    let ops = prop_oneof![
-        Just(Opcode::FmaddS),
-        Just(Opcode::FmsubS),
-        Just(Opcode::FnmaddS),
-        Just(Opcode::FnmsubS),
-    ];
+    let ops = sample(&[
+        Opcode::FmaddS,
+        Opcode::FmsubS,
+        Opcode::FnmaddS,
+        Opcode::FnmsubS,
+    ]);
     (ops, arb_freg(), arb_freg(), arb_freg(), arb_freg())
         .prop_map(|(op, rd, a, b, c)| Instruction::reg4(op, rd, a, b, c))
 }
 
 fn arb_upper_jump() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
+    one_of(vec![
         (arb_xreg(), -524288i64..524288)
-            .prop_map(|(rd, v)| Instruction::upper(Opcode::Lui, rd, v << 12)),
+            .prop_map(|(rd, v)| Instruction::upper(Opcode::Lui, rd, v << 12))
+            .boxed(),
         (arb_xreg(), -524288i64..524288)
-            .prop_map(|(rd, v)| Instruction::upper(Opcode::Auipc, rd, v << 12)),
+            .prop_map(|(rd, v)| Instruction::upper(Opcode::Auipc, rd, v << 12))
+            .boxed(),
         (arb_xreg(), -524288i64..524287)
-            .prop_map(|(rd, off)| Instruction::jal(rd, off * 2)),
-        (arb_xreg(), arb_xreg(), -2048i64..2048).prop_map(|(rd, rs1, off)| Instruction {
-            op: Opcode::Jalr,
-            rd: Some(rd),
-            rs1: Some(rs1),
-            rs2: None,
-            rs3: None,
-            imm: off,
-        }),
-    ]
+            .prop_map(|(rd, off)| Instruction::jal(rd, off * 2))
+            .boxed(),
+        (arb_xreg(), arb_xreg(), -2048i64..2048)
+            .prop_map(|(rd, rs1, off)| Instruction {
+                op: Opcode::Jalr,
+                rd: Some(rd),
+                rs1: Some(rs1),
+                rs2: None,
+                rs3: None,
+                imm: off,
+            })
+            .boxed(),
+    ])
 }
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        arb_int_reg3(),
-        arb_reg_imm(),
-        arb_shift(),
-        arb_mem(),
-        arb_branch(),
-        arb_fp3(),
-        arb_fp_cmp(),
-        arb_fma(),
-        arb_upper_jump(),
-    ]
+    one_of(vec![
+        arb_int_reg3().boxed(),
+        arb_reg_imm().boxed(),
+        arb_shift().boxed(),
+        arb_mem().boxed(),
+        arb_branch().boxed(),
+        arb_fp3().boxed(),
+        arb_fp_cmp().boxed(),
+        arb_fma().boxed(),
+        arb_upper_jump().boxed(),
+    ])
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(instr in arb_instruction()) {
+#[test]
+fn encode_decode_roundtrip() {
+    forall!(checker("codec::encode_decode_roundtrip"), |(instr in arb_instruction())| {
         let word = codec::encode(&instr).expect("generated instruction must encode");
         let back = codec::decode(word).expect("encoded word must decode");
         prop_assert_eq!(back, instr);
-    }
+    });
+}
 
-    #[test]
-    fn decode_is_total(word in any::<u32>()) {
+#[test]
+fn decode_is_total() {
+    forall!(checker("codec::decode_is_total"), |(word in any_u32())| {
         // Must never panic; errors are fine.
         let _ = codec::decode(word);
-    }
+    });
+}
 
-    #[test]
-    fn decode_encode_roundtrip(word in any::<u32>()) {
+#[test]
+fn decode_encode_roundtrip() {
+    forall!(checker("codec::decode_encode_roundtrip"), |(word in any_u32())| {
         // Any word we accept must re-encode to an equivalent instruction
         // (not necessarily bit-identical: rounding-mode bits are dropped).
         if let Ok(instr) = codec::decode(word) {
@@ -194,10 +211,12 @@ proptest! {
             let instr2 = codec::decode(word2).expect("re-encoded word must decode");
             prop_assert_eq!(instr2, instr);
         }
-    }
+    });
+}
 
-    #[test]
-    fn display_never_panics(instr in arb_instruction()) {
+#[test]
+fn display_never_panics() {
+    forall!(checker("codec::display_never_panics"), |(instr in arb_instruction())| {
         let _ = instr.to_string();
-    }
+    });
 }

@@ -1,13 +1,17 @@
 //! Ablation benches for the design choices DESIGN.md calls out: each
 //! compares a MESA variant against the default on a representative kernel
-//! and reports the resulting accelerator cycles through Criterion (the
-//! throughput difference *is* the measurement).
+//! and reports the simulation wall time per variant (the accelerator-cycle
+//! difference *is* the measurement; the cycles are printed alongside).
+//!
+//! Run with `cargo bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mesa_bench::mesa_offload;
 use mesa_core::{MapperConfig, SystemConfig, WindowMode};
+use mesa_test::BenchSuite;
 use mesa_workloads::{by_name, KernelSize};
 use std::hint::black_box;
+
+const ITERS: u64 = 10;
 
 fn offload_cycles(kernel_name: &str, mutate: impl FnOnce(&mut SystemConfig)) -> u64 {
     let kernel = by_name(kernel_name, KernelSize::Tiny).expect("kernel");
@@ -17,106 +21,63 @@ fn offload_cycles(kernel_name: &str, mutate: impl FnOnce(&mut SystemConfig)) -> 
     run.report.map_or(run.cycles, |r| r.accel_cycles)
 }
 
+/// Times one variant and prints the accelerator-cycle count it produces.
+fn variant(suite: &mut BenchSuite, name: &str, kernel: &str, mutate: fn(&mut SystemConfig)) {
+    let cycles = offload_cycles(kernel, mutate);
+    suite.run(name, ITERS, || black_box(offload_cycles(kernel, mutate)));
+    println!("  {name}: {cycles} accel cycles");
+}
+
 /// Mapping tie-break (free-neighbor count) on vs off.
-fn ablation_tiebreak(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_tiebreak");
-    g.sample_size(10);
-    g.bench_function("with_tiebreak", |b| {
-        b.iter(|| black_box(offload_cycles("hotspot", |_| {})));
+fn ablation_tiebreak(suite: &mut BenchSuite) {
+    variant(suite, "ablation_tiebreak/with_tiebreak", "hotspot", |_| {});
+    variant(suite, "ablation_tiebreak/without_tiebreak", "hotspot", |s| {
+        s.mapper.tie_break_neighbors = false;
     });
-    g.bench_function("without_tiebreak", |b| {
-        b.iter(|| {
-            black_box(offload_cycles("hotspot", |s| {
-                s.mapper.tie_break_neighbors = false;
-            }))
-        });
-    });
-    g.finish();
 }
 
 /// Candidate window: fixed 4x8 (hardware) vs predecessor-bounded rectangle
 /// (Eq. 3).
-fn ablation_window(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_window");
-    g.sample_size(10);
-    g.bench_function("fixed_4x8", |b| {
-        b.iter(|| black_box(offload_cycles("srad", |_| {})));
+fn ablation_window(suite: &mut BenchSuite) {
+    variant(suite, "ablation_window/fixed_4x8", "srad", |_| {});
+    variant(suite, "ablation_window/predecessor_rect", "srad", |s| {
+        s.mapper.window_mode = WindowMode::PredecessorRect;
     });
-    g.bench_function("predecessor_rect", |b| {
-        b.iter(|| {
-            black_box(offload_cycles("srad", |s| {
-                s.mapper.window_mode = WindowMode::PredecessorRect;
-            }))
-        });
+    variant(suite, "ablation_window/narrow_2x4", "srad", |s| {
+        s.mapper = MapperConfig { window_rows: 2, window_cols: 4, ..s.mapper };
     });
-    g.bench_function("narrow_2x4", |b| {
-        b.iter(|| {
-            black_box(offload_cycles("srad", |s| {
-                s.mapper = MapperConfig { window_rows: 2, window_cols: 4, ..s.mapper };
-            }))
-        });
-    });
-    g.finish();
 }
 
 /// Store→load forwarding + vectorization + prefetch on vs off.
-fn ablation_memopts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_memopts");
-    g.sample_size(10);
-    g.bench_function("with_memopts", |b| {
-        b.iter(|| black_box(offload_cycles("kmeans", |_| {})));
+fn ablation_memopts(suite: &mut BenchSuite) {
+    variant(suite, "ablation_memopts/with_memopts", "kmeans", |_| {});
+    variant(suite, "ablation_memopts/without_memopts", "kmeans", |s| {
+        s.opts.memory_opts = false;
     });
-    g.bench_function("without_memopts", |b| {
-        b.iter(|| {
-            black_box(offload_cycles("kmeans", |s| {
-                s.opts.memory_opts = false;
-            }))
-        });
-    });
-    g.finish();
 }
 
 /// Iterative reconfiguration on vs off (the Fig. 14 1.86x → 2.01x knob).
-fn ablation_iterative(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_iterative");
-    g.sample_size(10);
-    g.bench_function("with_reconfig", |b| {
-        b.iter(|| black_box(offload_cycles("nw", |_| {})));
+fn ablation_iterative(suite: &mut BenchSuite) {
+    variant(suite, "ablation_iterative/with_reconfig", "nw", |_| {});
+    variant(suite, "ablation_iterative/without_reconfig", "nw", |s| {
+        s.opts.iterative = false;
     });
-    g.bench_function("without_reconfig", |b| {
-        b.iter(|| {
-            black_box(offload_cycles("nw", |s| {
-                s.opts.iterative = false;
-            }))
-        });
-    });
-    g.finish();
 }
 
 /// Loop-level optimizations (tiling/pipelining) on vs off.
-fn ablation_loop_opts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_loop_opts");
-    g.sample_size(10);
-    g.bench_function("tiling_and_pipelining", |b| {
-        b.iter(|| black_box(offload_cycles("streamcluster", |_| {})));
+fn ablation_loop_opts(suite: &mut BenchSuite) {
+    variant(suite, "ablation_loop_opts/tiling_and_pipelining", "streamcluster", |_| {});
+    variant(suite, "ablation_loop_opts/spatial_only", "streamcluster", |s| {
+        s.opts.tiling = false;
+        s.opts.pipelining = false;
     });
-    g.bench_function("spatial_only", |b| {
-        b.iter(|| {
-            black_box(offload_cycles("streamcluster", |s| {
-                s.opts.tiling = false;
-                s.opts.pipelining = false;
-            }))
-        });
-    });
-    g.finish();
 }
 
-criterion_group!(
-    ablations,
-    ablation_tiebreak,
-    ablation_window,
-    ablation_memopts,
-    ablation_iterative,
-    ablation_loop_opts
-);
-criterion_main!(ablations);
+fn main() {
+    let mut suite = BenchSuite::new();
+    ablation_tiebreak(&mut suite);
+    ablation_window(&mut suite);
+    ablation_memopts(&mut suite);
+    ablation_iterative(&mut suite);
+    ablation_loop_opts(&mut suite);
+}

@@ -3,8 +3,11 @@
 //! OoO core model, and the instruction codec. These track the simulator's
 //! own performance (useful when extending the repo), independent of the
 //! paper's figures.
+//!
+//! Run with `cargo bench --bench components`. Each benchmark prints one
+//! JSON line, and the whole suite is written to `BENCH_components.json`
+//! at the repository root so performance can be diffed across commits.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mesa_accel::{AccelConfig, Coord, SpatialAccelerator};
 use mesa_core::{
     analyze_memopts, build_accel_program, map_instructions, Ldfg, MapperConfig, OptFlags,
@@ -12,8 +15,11 @@ use mesa_core::{
 use mesa_cpu::{CoreConfig, NullMonitor, OoOCore, RunLimits};
 use mesa_isa::{codec, OpClass};
 use mesa_mem::{MemConfig, MemorySystem};
+use mesa_test::BenchSuite;
 use mesa_workloads::{by_name, KernelSize};
 use std::hint::black_box;
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_components.json");
 
 fn region(kernel: &str) -> mesa_isa::Program {
     let k = by_name(kernel, KernelSize::Tiny).expect("kernel");
@@ -27,53 +33,40 @@ fn region(kernel: &str) -> mesa_isa::Program {
     }
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(suite: &mut BenchSuite) {
     let words: Vec<u32> = region("srad").encode().expect("encodes");
-    let mut g = c.benchmark_group("codec");
-    g.throughput(Throughput::Elements(words.len() as u64));
-    g.bench_function("decode_srad_body", |b| {
-        b.iter(|| {
-            for &w in &words {
-                black_box(codec::decode(w).expect("valid"));
-            }
-        });
+    suite.run("codec/decode_srad_body", 2_000, || {
+        for &w in &words {
+            black_box(codec::decode(w).expect("valid"));
+        }
     });
-    g.finish();
 }
 
-fn bench_ldfg_build(c: &mut Criterion) {
+fn bench_ldfg_build(suite: &mut BenchSuite) {
     let r = region("srad");
-    let mut g = c.benchmark_group("ldfg");
-    g.throughput(Throughput::Elements(r.instrs.len() as u64));
-    g.bench_function("build_srad_body", |b| {
-        b.iter(|| black_box(Ldfg::build(&r).expect("builds")));
+    suite.run("ldfg/build_srad_body", 1_000, || {
+        black_box(Ldfg::build(&r).expect("builds"))
     });
-    g.finish();
 }
 
-fn bench_mapper(c: &mut Criterion) {
+fn bench_mapper(suite: &mut BenchSuite) {
     let r = region("srad");
     let ldfg = Ldfg::build(&r).expect("builds");
     let accel = AccelConfig::m128();
     let sa = SpatialAccelerator::new(accel);
     let supports = |coord: Coord, class: OpClass| accel.supports(coord, class);
-    let mut g = c.benchmark_group("mapper");
-    g.throughput(Throughput::Elements(ldfg.len() as u64));
-    g.bench_function("algorithm1_srad_on_m128", |b| {
-        b.iter(|| {
-            black_box(map_instructions(
-                &ldfg,
-                accel.grid(),
-                &supports,
-                sa.latency_model(),
-                &MapperConfig::default(),
-            ))
-        });
+    suite.run("mapper/algorithm1_srad_on_m128", 500, || {
+        black_box(map_instructions(
+            &ldfg,
+            accel.grid(),
+            &supports,
+            sa.latency_model(),
+            &MapperConfig::default(),
+        ))
     });
-    g.finish();
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine(suite: &mut BenchSuite) {
     let kernel = by_name("nn", KernelSize::Tiny).expect("nn");
     let r = region("nn");
     let ldfg = Ldfg::build(&r).expect("builds");
@@ -97,51 +90,41 @@ fn bench_engine(c: &mut Criterion) {
         &OptFlags::none(),
         kernel.iterations,
     );
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(kernel.iterations));
-    g.bench_function("nn_512_iterations_on_m128", |b| {
-        b.iter(|| {
-            let mut mem = MemorySystem::new(MemConfig::default(), 1);
-            kernel.populate(mem.data_mut());
-            black_box(
-                sa.execute(&prog, &kernel.entry, &mut mem, 0, 1_000_000)
-                    .expect("runs"),
-            )
-        });
+    suite.run("engine/nn_512_iterations_on_m128", 20, || {
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        kernel.populate(mem.data_mut());
+        black_box(
+            sa.execute(&prog, &kernel.entry, &mut mem, 0, 1_000_000)
+                .expect("runs"),
+        )
     });
-    g.finish();
 }
 
-fn bench_ooo_core(c: &mut Criterion) {
+fn bench_ooo_core(suite: &mut BenchSuite) {
     let kernel = by_name("pathfinder", KernelSize::Tiny).expect("pathfinder");
-    let mut g = c.benchmark_group("ooo_core");
-    g.sample_size(20);
-    g.bench_function("pathfinder_tiny_to_halt", |b| {
-        b.iter(|| {
-            let mut mem = MemorySystem::new(MemConfig::default(), 1);
-            kernel.populate(mem.data_mut());
-            let mut state = kernel.entry.clone();
-            let mut cpu = OoOCore::new(CoreConfig::boom_baseline());
-            black_box(cpu.run(
-                &kernel.program,
-                &mut state,
-                &mut mem,
-                0,
-                RunLimits::none(),
-                &mut NullMonitor,
-            ))
-        });
+    suite.run("ooo_core/pathfinder_tiny_to_halt", 20, || {
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        kernel.populate(mem.data_mut());
+        let mut state = kernel.entry.clone();
+        let mut cpu = OoOCore::new(CoreConfig::boom_baseline());
+        black_box(cpu.run(
+            &kernel.program,
+            &mut state,
+            &mut mem,
+            0,
+            RunLimits::none(),
+            &mut NullMonitor,
+        ))
     });
-    g.finish();
 }
 
-criterion_group!(
-    components,
-    bench_codec,
-    bench_ldfg_build,
-    bench_mapper,
-    bench_engine,
-    bench_ooo_core
-);
-criterion_main!(components);
+fn main() {
+    let mut suite = BenchSuite::new();
+    bench_codec(&mut suite);
+    bench_ldfg_build(&mut suite);
+    bench_mapper(&mut suite);
+    bench_engine(&mut suite);
+    bench_ooo_core(&mut suite);
+    suite.write_json(OUT_PATH).expect("writes BENCH_components.json");
+    println!("wrote {OUT_PATH}");
+}

@@ -1,91 +1,39 @@
-//! Criterion benches: one per table/figure of the paper's evaluation.
+//! Wall-time benches: one per table/figure of the paper's evaluation.
 //! Each bench times the full simulation behind the corresponding figure at
 //! the `Tiny` problem size (the `figures` binary reproduces the actual
 //! numbers at `Small`/`Large`).
+//!
+//! Run with `cargo bench --bench figures`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mesa_bench as bench;
+use mesa_test::BenchSuite;
 use mesa_workloads::KernelSize;
 use std::hint::black_box;
 
-fn bench_fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_perf_energy_vs_multicore");
-    g.sample_size(10);
-    g.bench_function("all_kernels_m128_m512", |b| {
-        b.iter(|| black_box(bench::fig11(KernelSize::Tiny)));
-    });
-    g.finish();
-}
+const ITERS: u64 = 10;
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_ipc_vs_opencgra");
-    g.sample_size(10);
-    g.bench_function("compatible_kernels", |b| {
-        b.iter(|| black_box(bench::fig12(KernelSize::Tiny)));
+fn main() {
+    let mut suite = BenchSuite::new();
+    suite.run("fig11_perf_energy_vs_multicore/all_kernels_m128_m512", ITERS, || {
+        black_box(bench::fig11(KernelSize::Tiny))
     });
-    g.finish();
-}
-
-fn bench_fig13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13_component_breakdown");
-    g.sample_size(10);
-    g.bench_function("four_kernel_average", |b| {
-        b.iter(|| black_box(bench::fig13(KernelSize::Tiny)));
+    suite.run("fig12_ipc_vs_opencgra/compatible_kernels", ITERS, || {
+        black_box(bench::fig12(KernelSize::Tiny))
     });
-    g.finish();
-}
-
-fn bench_fig14(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14_vs_dynaspam");
-    g.sample_size(10);
-    g.bench_function("shared_kernels_m64", |b| {
-        b.iter(|| black_box(bench::fig14(KernelSize::Tiny)));
+    suite.run("fig13_component_breakdown/four_kernel_average", ITERS, || {
+        black_box(bench::fig13(KernelSize::Tiny))
     });
-    g.finish();
-}
-
-fn bench_fig15(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig15_pe_scaling");
-    g.sample_size(10);
-    g.bench_function("nn_16_to_512_pes", |b| {
-        b.iter(|| black_box(bench::fig15(KernelSize::Tiny)));
+    suite.run("fig14_vs_dynaspam/shared_kernels_m64", ITERS, || {
+        black_box(bench::fig14(KernelSize::Tiny))
     });
-    g.finish();
-}
-
-fn bench_fig16(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig16_amortization");
-    g.sample_size(10);
-    g.bench_function("nn_energy_per_iteration", |b| {
-        b.iter(|| black_box(bench::fig16(KernelSize::Tiny)));
+    suite.run("fig15_pe_scaling/nn_16_to_512_pes", ITERS, || {
+        black_box(bench::fig15(KernelSize::Tiny))
     });
-    g.finish();
-}
-
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_area_power", |b| {
-        b.iter(|| black_box(bench::table1()));
+    suite.run("fig16_amortization/nn_energy_per_iteration", ITERS, || {
+        black_box(bench::fig16(KernelSize::Tiny))
+    });
+    suite.run("table1_area_power", 100, || black_box(bench::table1()));
+    suite.run("table2_config_latency/all_kernels", ITERS, || {
+        black_box(bench::table2(KernelSize::Tiny))
     });
 }
-
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_config_latency");
-    g.sample_size(10);
-    g.bench_function("all_kernels", |b| {
-        b.iter(|| black_box(bench::table2(KernelSize::Tiny)));
-    });
-    g.finish();
-}
-
-criterion_group!(
-    figures,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13,
-    bench_fig14,
-    bench_fig15,
-    bench_fig16,
-    bench_table1,
-    bench_table2
-);
-criterion_main!(figures);

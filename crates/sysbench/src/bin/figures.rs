@@ -180,7 +180,7 @@ fn print_fig16(size: KernelSize) {
 
 fn print_table2(size: KernelSize) {
     println!("== Table 2: configuration latency by approach ==");
-    println!("{:<10} {:<40} {:<12} {}", "work", "config latency", "targets", "optimizations");
+    println!("{:<10} {:<40} {:<12} optimizations", "work", "config latency", "targets");
     for r in bench::table2(size) {
         println!(
             "{:<10} {:<40} {:<12} {}",

@@ -70,7 +70,7 @@ pub fn fig11(size: KernelSize) -> (Vec<Fig11Row>, [f64; 4]) {
     for kernel in all(size) {
         let base = cpu_multicore(&kernel, BASELINE_CORES);
         let base_e = baseline_energy(&base, &p).total_pj();
-        let mut per_cfg = |system: &SystemConfig| -> (f64, f64) {
+        let per_cfg = |system: &SystemConfig| -> (f64, f64) {
             let run = mesa_offload(&kernel, system, BASELINE_CORES);
             let speedup = base.cycles as f64 / run.cycles as f64;
             let energy = if run.report.is_some() {
@@ -93,7 +93,7 @@ pub fn fig11(size: KernelSize) -> (Vec<Fig11Row>, [f64; 4]) {
     // The paper reports plain averages ("MESA achieves 1.33x and 1.81x
     // performance gains ... averaged 1.86x and 1.92x").
     let mean = |f: &dyn Fn(&Fig11Row) -> f64| {
-        rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
     };
     let means = [
         mean(&|r| r.speedup_m128),
@@ -498,6 +498,6 @@ mod tests {
             .filter(|s| !s.is_empty())
             .map(|s| s.parse().unwrap())
             .collect();
-        assert!(nums.iter().any(|&n| n >= 100 && n <= 100_000));
+        assert!(nums.iter().any(|&n| (100..=100_000).contains(&n)));
     }
 }

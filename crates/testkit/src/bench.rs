@@ -1,0 +1,187 @@
+//! Microbenchmark timing: warmup, median-of-k batch samples, and JSON
+//! line output. A deliberate, tiny replacement for `criterion` — enough
+//! to track the simulator's own performance trajectory across PRs
+//! without any external dependency.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name (`group/function` by convention).
+    pub name: String,
+    /// Iterations per timed batch.
+    pub iters: u64,
+    /// Number of timed batches.
+    pub samples: usize,
+    /// Median per-iteration time over the batches, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest batch's per-iteration time, in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest batch's per-iteration time, in nanoseconds.
+    pub max_ns: f64,
+    /// Mean per-iteration time over the batches, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    /// Renders the result as one JSON object on a single line.
+    #[must_use]
+    pub fn json_line(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"samples\":{},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"mean_ns\":{:.1}}}",
+            self.name, self.iters, self.samples, self.median_ns, self.min_ns, self.max_ns, self.mean_ns
+        )
+    }
+}
+
+/// Number of timed batches per benchmark.
+const SAMPLES: usize = 7;
+
+/// Times `f` over `iters` iterations per batch: one untimed warmup
+/// batch, then [`SAMPLES`] timed batches, reporting the median (robust
+/// against scheduler noise), min, max, and mean per-iteration time.
+///
+/// The closure's return value is passed through [`std::hint::black_box`]
+/// so the work is not optimized away.
+///
+/// # Panics
+/// Panics if `iters` is zero.
+pub fn bench_fn<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) -> BenchResult {
+    assert!(iters > 0, "bench_fn needs at least one iteration");
+    let run_batch = |f: &mut dyn FnMut() -> T| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+
+    run_batch(&mut f); // warmup: touch caches, JIT the page tables in
+
+    let mut per_iter: Vec<f64> = (0..SAMPLES).map(|_| run_batch(&mut f)).collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = per_iter[SAMPLES / 2];
+    let mean_ns = per_iter.iter().sum::<f64>() / SAMPLES as f64;
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        samples: SAMPLES,
+        median_ns,
+        min_ns: per_iter[0],
+        max_ns: per_iter[SAMPLES - 1],
+        mean_ns,
+    }
+}
+
+/// Collects [`BenchResult`]s across a bench binary and serializes them
+/// as a JSON array (one file per suite, e.g. `BENCH_components.json`).
+#[derive(Debug, Default)]
+pub struct BenchSuite {
+    results: Vec<BenchResult>,
+}
+
+impl BenchSuite {
+    /// Empty suite.
+    #[must_use]
+    pub fn new() -> Self {
+        BenchSuite::default()
+    }
+
+    /// Runs one benchmark, prints its JSON line to stdout, and records
+    /// the result.
+    pub fn run<T>(&mut self, name: &str, iters: u64, f: impl FnMut() -> T) -> &BenchResult {
+        let r = bench_fn(name, iters, f);
+        println!("{}", r.json_line());
+        self.results.push(r);
+        self.results.last().expect("just pushed")
+    }
+
+    /// The recorded results, in run order.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes the suite as a pretty-ish JSON array.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(out, "  {}", r.json_line());
+            if i + 1 < self.results.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSON array to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_fn_measures_and_orders_stats() {
+        let r = bench_fn("noop", 1000, || 1 + 1);
+        assert_eq!(r.iters, 1000);
+        assert_eq!(r.samples, SAMPLES);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.min_ns >= 0.0);
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let r = bench_fn("codec/decode", 100, || 42u64);
+        let line = r.json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"name\":\"codec/decode\""));
+        assert!(line.contains("\"median_ns\":"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn suite_collects_and_serializes() {
+        let mut suite = BenchSuite::new();
+        suite.run("a", 10, || 1);
+        suite.run("b", 10, || 2);
+        let json = suite.to_json();
+        assert!(json.starts_with("[\n") && json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"name\"").count(), 2);
+        assert_eq!(suite.results().len(), 2);
+    }
+
+    #[test]
+    fn timed_work_scales_with_iters() {
+        // A busy loop long enough to rise above timer resolution.
+        let spin = |n: u64| {
+            move || {
+                let mut acc = 0u64;
+                for i in 0..n {
+                    acc = acc.wrapping_add(std::hint::black_box(i));
+                }
+                acc
+            }
+        };
+        let short = bench_fn("spin1k", 50, spin(1_000));
+        let long = bench_fn("spin100k", 50, spin(100_000));
+        assert!(
+            long.median_ns > short.median_ns * 5.0,
+            "100x the work should be at least 5x slower ({} vs {})",
+            long.median_ns,
+            short.median_ns
+        );
+    }
+}

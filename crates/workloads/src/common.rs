@@ -3,8 +3,7 @@
 //! splitting.
 
 use mesa_isa::{ArchState, MemoryIo, ParallelKind, Program, Reg, Xlen};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mesa_test::Rng;
 
 /// Problem size selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -162,14 +161,14 @@ pub fn entry_at(base_pc: u64) -> ArchState {
 /// Deterministic f32 data in `[lo, hi)`, stored as IEEE-754 bits.
 #[must_use]
 pub fn f32_data(seed: u64, n: u64, lo: f32, hi: f32) -> Vec<u32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n).map(|_| (lo + rng.gen::<f32>() * (hi - lo)).to_bits()).collect()
 }
 
 /// Deterministic u32 data in `[0, bound)`.
 #[must_use]
 pub fn u32_data(seed: u64, n: u64, bound: u32) -> Vec<u32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n).map(|_| rng.gen_range(0..bound)).collect()
 }
 

@@ -56,7 +56,8 @@ fn main() {
     }
 
     println!("\n— optimization toggles —");
-    let toggles: [(&str, fn(&mut SystemConfig)); 4] = [
+    type Toggle = (&'static str, fn(&mut SystemConfig));
+    let toggles: [Toggle; 4] = [
         ("all on (default)", |_| {}),
         ("no tiling", |s| s.opts.tiling = false),
         ("no pipelining", |s| s.opts.pipelining = false),

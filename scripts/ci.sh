@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Offline CI gate: the whole workspace must build, test, and lint with an
+# empty cargo registry (no network, no vendored third-party crates).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings

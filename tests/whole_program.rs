@@ -6,7 +6,7 @@
 use mesa::core::{MesaController, SystemConfig};
 use mesa::cpu::{CoreConfig, OoOCore};
 use mesa::isa::reg::abi::*;
-use mesa::isa::{ArchState, Asm, MemoryIo, Program, Xlen};
+use mesa::isa::{ArchState, Asm, Program, Xlen};
 use mesa::mem::{MemConfig, MemorySystem};
 
 const A: u64 = 0x10_0000;
