@@ -47,6 +47,16 @@ impl PerfCounters {
     pub fn new(n: usize) -> Self {
         PerfCounters { nodes: vec![NodeCounter::default(); n] }
     }
+
+    /// Registers the aggregate feedback-channel totals — fires and summed
+    /// op cycles across all nodes — as `<prefix>.fires` /
+    /// `<prefix>.op_cycles`.
+    pub fn record_metrics(&self, reg: &mut mesa_trace::MetricsRegistry, prefix: &str) {
+        let fires: u64 = self.nodes.iter().map(|n| n.fires).sum();
+        let op_cycles: u64 = self.nodes.iter().map(|n| n.total_op_cycles).sum();
+        reg.add(&format!("{prefix}.fires"), fires);
+        reg.add(&format!("{prefix}.op_cycles"), op_cycles);
+    }
 }
 
 /// Aggregate activity, consumed by the energy model.
@@ -87,6 +97,29 @@ impl ActivityStats {
     #[must_use]
     pub fn mem_ops(&self) -> u64 {
         self.loads + self.stores
+    }
+
+    /// Registers every activity field as a counter named
+    /// `<prefix>.<field>`.
+    pub fn record_metrics(&self, reg: &mut mesa_trace::MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("int_ops", self.int_ops),
+            ("fp_ops", self.fp_ops),
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("pe_busy_cycles", self.pe_busy_cycles),
+            ("local_transfers", self.local_transfers),
+            ("noc_transfers", self.noc_transfers),
+            ("noc_hop_cycles", self.noc_hop_cycles),
+            ("fallback_transfers", self.fallback_transfers),
+            ("forwards", self.forwards),
+            ("violations", self.violations),
+            ("disabled_fires", self.disabled_fires),
+            ("vector_piggybacks", self.vector_piggybacks),
+            ("prefetch_hits", self.prefetch_hits),
+        ] {
+            reg.add(&format!("{prefix}.{name}"), value);
+        }
     }
 }
 

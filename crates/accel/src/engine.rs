@@ -18,6 +18,7 @@ use crate::{
 };
 use mesa_isa::{step, ArchState, Instruction, MemoryIo, OpClass, Outcome, Reg, Xlen};
 use mesa_mem::MemorySystem;
+use mesa_trace::{NullTracer, Subsystem, Tracer};
 
 /// Extra cycles to replay a load invalidated by a conflicting store.
 const VIOLATION_REDO: u64 = 2;
@@ -167,7 +168,31 @@ impl SpatialAccelerator {
         requester: usize,
         max_iterations: u64,
     ) -> Result<AccelRunResult, ProgramError> {
+        self.execute_traced(prog, entry, mem, requester, max_iterations, &mut NullTracer, 0)
+    }
+
+    /// [`execute`](Self::execute) with tracing: wraps the run in an
+    /// `accel.execute` span on the accelerator timeline starting at
+    /// `cycle_base` (the controller's episode clock, since the engine's own
+    /// cycles are run-relative) and samples iteration/busy counters at its
+    /// close.
+    ///
+    /// # Errors
+    /// Returns [`ProgramError`] if the program fails validation against
+    /// this accelerator's grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_traced(
+        &self,
+        prog: &AccelProgram,
+        entry: &ArchState,
+        mem: &mut MemorySystem,
+        requester: usize,
+        max_iterations: u64,
+        tracer: &mut dyn Tracer,
+        cycle_base: u64,
+    ) -> Result<AccelRunResult, ProgramError> {
         prog.validate(self.cfg.grid())?;
+        tracer.span_begin(Subsystem::Accelerator, "accel.execute", cycle_base);
 
         let n = prog.nodes.len();
         let tiles = prog.tiles.max(1);
@@ -261,6 +286,17 @@ impl SpatialAccelerator {
             .collect();
         let cycles = tile_states.iter().map(|t| t.last_complete).max().unwrap_or(0);
 
+        if tracer.enabled() {
+            let end = cycle_base + cycles;
+            tracer.counter(Subsystem::Accelerator, "accel.iterations", total_iters, end);
+            tracer.counter(
+                Subsystem::Accelerator,
+                "accel.pe_busy_cycles",
+                activity.pe_busy_cycles,
+                end,
+            );
+            tracer.span_end(Subsystem::Accelerator, "accel.execute", end);
+        }
         Ok(AccelRunResult {
             iterations: total_iters,
             cycles,

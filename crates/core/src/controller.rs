@@ -11,8 +11,8 @@
 
 use crate::{
     apply_counters, build_accel_program, check_region, config_latency, map_instructions,
-    memopt, reconfig_latency, reoptimize, ConfigCache, ConfigLatency, DetectConfig,
-    DetectedRegion, ImapTiming, MapperConfig, OptFlags, RejectReason,
+    memopt, reconfig_latency, reoptimize, trace_map_stages, ConfigCache, ConfigLatency,
+    DetectConfig, DetectedRegion, ImapTiming, MapperConfig, OptFlags, RejectReason,
 };
 use mesa_accel::{
     AccelConfig, AccelProgram, ActivityStats, Coord, PerfCounters, ProgramError,
@@ -23,7 +23,8 @@ use mesa_cpu::{
     TraceCache,
 };
 use mesa_isa::{ArchState, OpClass, Program, Reg};
-use mesa_mem::{AmatTable, MemConfig, MemorySystem};
+use mesa_mem::{AmatTable, MemConfig, MemTraffic, MemorySystem};
+use mesa_trace::{MetricsRegistry, NullTracer, Subsystem, Tracer};
 use std::fmt;
 
 /// Everything needed to instantiate a MESA-enabled system.
@@ -166,6 +167,12 @@ pub struct OffloadReport {
     pub initial_estimate: u64,
     /// The configuration was served from the config cache.
     pub from_cache: bool,
+    /// Memory-hierarchy traffic accumulated by the *CPU-side* phases of
+    /// this episode (warmup monitoring + configuration overlap), i.e. the
+    /// memory-system totals sampled just before the accelerator started.
+    /// Harnesses diff the post-episode totals against this to attribute
+    /// traffic to the accelerated phase without double-counting warmup.
+    pub cpu_phase_traffic: MemTraffic,
     /// Accelerator activity (for the energy model).
     pub activity: ActivityStats,
     /// Final performance counters.
@@ -194,6 +201,28 @@ impl OffloadReport {
         } else {
             self.accel_cycles as f64 / self.accel_iterations as f64
         }
+    }
+
+    /// Registers the episode's cycle breakdown, accelerator activity, and
+    /// feedback counters into `reg` under the `offload.` prefix.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.add("offload.episodes", 1);
+        reg.add("offload.warmup_cycles", self.warmup_cycles);
+        reg.add("offload.warmup_instrs", self.warmup_instrs);
+        reg.add("offload.config_cycles", self.config.total());
+        reg.add("offload.config_phase_cpu_cycles", self.config_phase_cpu_cycles);
+        reg.add("offload.cpu_iterations_during_config", self.cpu_iterations_during_config);
+        reg.add("offload.reconfig_cycles", self.reconfig_cycles);
+        reg.add("offload.reconfigurations", u64::from(self.reconfigurations));
+        reg.add("offload.accel_cycles", self.accel_cycles);
+        reg.add("offload.accel_iterations", self.accel_iterations);
+        reg.add("offload.tiles", self.tiles as u64);
+        reg.add("offload.unmapped_nodes", self.unmapped_nodes as u64);
+        reg.add("offload.from_cache", u64::from(self.from_cache));
+        reg.gauge("offload.cycles_per_iteration", self.cycles_per_iteration());
+        self.cpu_phase_traffic.record_metrics(reg, "offload.cpu_phase");
+        self.activity.record_metrics(reg, "offload.activity");
+        self.counters.record_metrics(reg, "offload.feedback");
     }
 }
 
@@ -321,11 +350,35 @@ impl MesaController {
         mem: &mut MemorySystem,
         cpu: &mut OoOCore,
     ) -> Result<OffloadReport, MesaError> {
+        self.offload_traced(program, state, mem, cpu, &mut NullTracer)
+    }
+
+    /// [`offload`](Self::offload) with tracing: every phase of the episode
+    /// — detection, translation, per-`imap`-stage mapping, configuration
+    /// write, CPU overlap, offloaded execution, and F3 reoptimization
+    /// rounds — is emitted as spans on an episode-relative cycle clock
+    /// (cycle 0 = monitoring start). See the `mesa-trace` crate docs for
+    /// the span vocabulary.
+    ///
+    /// # Errors
+    /// See [`MesaError`]. All spans opened before an error path are closed
+    /// before returning, so traces of failed episodes stay balanced.
+    pub fn offload_traced(
+        &mut self,
+        program: &Program,
+        state: &mut ArchState,
+        mem: &mut MemorySystem,
+        cpu: &mut OoOCore,
+        tracer: &mut dyn Tracer,
+    ) -> Result<OffloadReport, MesaError> {
         if mem.requesters() < 2 {
             return Err(MesaError::NeedTwoRequesters);
         }
         const CPU: usize = 0;
         const ACCEL: usize = 1;
+
+        tracer.span_begin(Subsystem::Controller, "detect", 0);
+        tracer.span_begin(Subsystem::Cpu, "cpu.warmup", 0);
 
         // ---- F1: monitor until a hot loop emerges ----
         let mut monitor = WarmupMonitor {
@@ -337,7 +390,7 @@ impl MesaController {
         let mut warmup_instrs = 0u64;
         let hot = loop {
             if warmup_instrs >= self.system.max_warmup_instrs {
-                return Err(MesaError::NoLoopDetected);
+                break None;
             }
             let r = cpu.run(program, state, mem, CPU, RunLimits::instrs(32), &mut monitor);
             warmup_cycles += r.cycles;
@@ -348,7 +401,7 @@ impl MesaController {
                     // CPU and keep watching for a different loop.
                     monitor.lsd.reset();
                 } else if state.pc == hot.start_pc {
-                    break hot;
+                    break Some(hot);
                 } else {
                     // Align to the next loop-entry boundary for a clean
                     // state snapshot. One loop iteration retires at most
@@ -369,15 +422,46 @@ impl MesaController {
                     warmup_cycles += r.cycles;
                     warmup_instrs += r.retired;
                     match r.stop {
-                        StopReason::StopPc => break hot,
+                        StopReason::StopPc => break Some(hot),
                         StopReason::InstrLimit => monitor.lsd.reset(),
-                        _ => return Err(MesaError::NoLoopDetected),
+                        _ => break None,
                     }
                 }
             } else if !matches!(r.stop, StopReason::InstrLimit) {
-                return Err(MesaError::NoLoopDetected);
+                break None;
             }
         };
+        tracer.span_end(Subsystem::Cpu, "cpu.warmup", warmup_cycles);
+        let Some(hot) = hot else {
+            if tracer.enabled() {
+                tracer.instant(
+                    Subsystem::Controller,
+                    "no_loop",
+                    "monitoring ended without a stable hot loop",
+                    warmup_cycles,
+                );
+            }
+            tracer.span_end(Subsystem::Controller, "detect", warmup_cycles);
+            return Err(MesaError::NoLoopDetected);
+        };
+        if tracer.enabled() {
+            tracer.instant(
+                Subsystem::Controller,
+                "hot_loop",
+                &format!(
+                    "pc=[{:#x},{:#x}) len={} iterations_seen={}",
+                    hot.start_pc,
+                    hot.end_pc,
+                    hot.len(),
+                    hot.iterations_seen
+                ),
+                warmup_cycles,
+            );
+        }
+        tracer.span_end(Subsystem::Controller, "detect", warmup_cycles);
+        if tracer.enabled() {
+            mem.traffic().trace_counters(tracer, warmup_cycles);
+        }
 
         // ---- capture the region through the trace cache (binary path) ----
         // Primary fill: the machine words snooped from the fetch/retire
@@ -406,7 +490,7 @@ impl MesaController {
         };
 
         // ---- C1-C3 ----
-        let detected = check_region(
+        let detected = match check_region(
             &region_image,
             hot.start_pc,
             hot.end_pc,
@@ -414,13 +498,26 @@ impl MesaController {
             hot.iterations_seen,
             &self.system.accel,
             &self.system.detect,
-        )
-        .map_err(|reason| {
-            // Remember the verdict so monitoring skips this region from
-            // now on (it finishes on the CPU).
-            self.blacklist.insert((hot.start_pc, hot.end_pc));
-            MesaError::Rejected(reason)
-        })?;
+        ) {
+            Ok(d) => d,
+            Err(reason) => {
+                // Remember the verdict so monitoring skips this region from
+                // now on (it finishes on the CPU).
+                self.blacklist.insert((hot.start_pc, hot.end_pc));
+                if tracer.enabled() {
+                    tracer.instant(
+                        Subsystem::Controller,
+                        "reject",
+                        &format!(
+                            "region [{:#x},{:#x}) rejected: {reason}",
+                            hot.start_pc, hot.end_pc
+                        ),
+                        warmup_cycles,
+                    );
+                }
+                return Err(MesaError::Rejected(reason));
+            }
+        };
         let DetectedRegion { region, mut ldfg, expected_iterations } = detected;
 
         // Seed memory node weights with monitored AMAT (§3.1).
@@ -484,7 +581,39 @@ impl MesaController {
         };
         let unmapped_nodes = accel_prog.nodes.iter().filter(|n| n.coord.is_none()).count();
 
+        // Configuration spans: the breakdown is known analytically, so the
+        // whole window [warmup, warmup + config.total()) is laid out up
+        // front; the CPU-overlap span below runs concurrently on the CPU
+        // timeline (§5.1).
+        if tracer.enabled() {
+            tracer.span_begin(Subsystem::Controller, "configure", warmup_cycles);
+            let mut t = warmup_cycles;
+            if config.ldfg_cycles > 0 {
+                tracer.span_begin(Subsystem::Controller, "translate", t);
+                t += config.ldfg_cycles;
+                tracer.span_end(Subsystem::Controller, "translate", t);
+            }
+            if config.map_cycles > 0 {
+                t = trace_map_stages(
+                    &self.system.imap,
+                    &self.system.mapper,
+                    ldfg.len() as u64,
+                    t,
+                    tracer,
+                );
+            }
+            if config.write_cycles > 0 {
+                tracer.span_begin(Subsystem::Controller, "config.write", t);
+                t += config.write_cycles;
+                tracer.span_end(Subsystem::Controller, "config.write", t);
+            }
+            tracer.span_begin(Subsystem::Controller, "config.transfer", t);
+            tracer.span_end(Subsystem::Controller, "config.transfer", t + config.transfer_cycles);
+            tracer.span_end(Subsystem::Controller, "configure", warmup_cycles + config.total());
+        }
+
         // ---- CPU keeps running while MESA configures (§5.1) ----
+        tracer.span_begin(Subsystem::Cpu, "cpu.config_overlap", warmup_cycles);
         let mut config_phase_cpu_cycles = 0u64;
         let mut cpu_iterations_during_config = 0u64;
         while config_phase_cpu_cycles < config.total() {
@@ -502,9 +631,33 @@ impl MesaController {
             config_phase_cpu_cycles += r1.cycles + r2.cycles;
             cpu_iterations_during_config += 1;
             if r2.stop != StopReason::StopPc {
+                let t = warmup_cycles + config_phase_cpu_cycles;
+                tracer.span_end(Subsystem::Cpu, "cpu.config_overlap", t);
+                if tracer.enabled() {
+                    tracer.instant(
+                        Subsystem::Controller,
+                        "loop_exited_during_config",
+                        "loop finished on the CPU before configuration completed",
+                        t,
+                    );
+                }
                 return Err(MesaError::LoopExitedDuringConfig);
             }
         }
+        tracer.span_end(
+            Subsystem::Cpu,
+            "cpu.config_overlap",
+            warmup_cycles + config_phase_cpu_cycles,
+        );
+
+        // Episode clock at the start of accelerated execution: the longer
+        // of the configuration pipeline and the overlapped CPU execution
+        // governs (they run concurrently).
+        let mut now = warmup_cycles + config.total().max(config_phase_cpu_cycles);
+        // Everything the memory system has seen so far is CPU-side work
+        // (warmup + config overlap); sample it so harnesses can attribute
+        // the rest of the episode's traffic to the accelerator.
+        let cpu_phase_traffic = mem.traffic();
 
         // ---- offload: run on the accelerator, optionally re-optimizing ----
         let mut activity = ActivityStats::default();
@@ -524,17 +677,30 @@ impl MesaController {
             self.system.opts.iterative && self.system.opts.max_reconfigs > 0;
 
         let mut keep_optimizing = iterative;
+        tracer.span_begin(Subsystem::Controller, "offload", now);
         loop {
             let budget = if keep_optimizing && reconfigurations < self.system.opts.max_reconfigs {
                 self.system.opts.opt_interval
             } else {
                 self.system.max_accel_iterations
             };
-            let r = self
-                .accel
-                .execute(&current, state, mem, ACCEL, budget)
-                .map_err(MesaError::Accel)?;
+            let r = match self.accel.execute_traced(
+                &current,
+                state,
+                mem,
+                ACCEL,
+                budget,
+                tracer,
+                now,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    tracer.span_end(Subsystem::Controller, "offload", now);
+                    return Err(MesaError::Accel(e));
+                }
+            };
 
+            now += r.cycles;
             accel_cycles += r.cycles;
             accel_iterations += r.iterations;
             merge_activity(&mut activity, &r.activity);
@@ -553,8 +719,17 @@ impl MesaController {
             }
 
             // ---- F3: iterative optimization ----
+            tracer.span_begin(Subsystem::Controller, "reoptimize", now);
             apply_counters(&mut ldfg, &r.counters);
             let measured = (r.cycles / r.iterations.max(1)).max(1);
+            if tracer.enabled() {
+                tracer.counter(
+                    Subsystem::Controller,
+                    "reopt.measured_cycles_per_iteration",
+                    measured,
+                    now,
+                );
+            }
             let out = reoptimize(
                 &ldfg,
                 &self.system.accel,
@@ -574,13 +749,23 @@ impl MesaController {
                     expected_iterations,
                 );
                 if next.validate(self.system.accel.grid()).is_ok() {
-                    reconfig_cycles += reconfig_latency(
+                    let extra = reconfig_latency(
                         &self.system.imap,
                         &self.system.mapper,
                         ldfg.len(),
                         next.tiles,
                     )
                     .total();
+                    reconfig_cycles += extra;
+                    now += extra;
+                    if tracer.enabled() {
+                        tracer.instant(
+                            Subsystem::Controller,
+                            "reconfigure",
+                            &format!("remapped to {} tile(s), +{extra} cycles", next.tiles),
+                            now,
+                        );
+                    }
                     current = next;
                     self.cache.insert(current.clone());
                 }
@@ -590,6 +775,11 @@ impl MesaController {
                 // segments and run the remainder uninterrupted.
                 keep_optimizing = false;
             }
+            tracer.span_end(Subsystem::Controller, "reoptimize", now);
+        }
+        tracer.span_end(Subsystem::Controller, "offload", now);
+        if tracer.enabled() {
+            mem.traffic().trace_counters(tracer, now);
         }
 
         // Control returns to the CPU just past the loop (§5.1).
@@ -612,6 +802,7 @@ impl MesaController {
             expected_iterations,
             initial_estimate,
             from_cache,
+            cpu_phase_traffic,
             activity,
             counters,
         })
@@ -633,9 +824,24 @@ impl MesaController {
         cpu: &mut OoOCore,
         max_cpu_instrs: u64,
     ) -> ProgramRunReport {
+        self.run_program_traced(program, state, mem, cpu, max_cpu_instrs, &mut NullTracer)
+    }
+
+    /// [`run_program`](Self::run_program) with tracing: each offload
+    /// episode's spans are emitted on its own episode-relative clock, and
+    /// rejected regions surface as `reject` instant events.
+    pub fn run_program_traced(
+        &mut self,
+        program: &Program,
+        state: &mut ArchState,
+        mem: &mut MemorySystem,
+        cpu: &mut OoOCore,
+        max_cpu_instrs: u64,
+        tracer: &mut dyn Tracer,
+    ) -> ProgramRunReport {
         let mut report = ProgramRunReport::default();
         loop {
-            match self.offload(program, state, mem, cpu) {
+            match self.offload_traced(program, state, mem, cpu, tracer) {
                 Ok(ep) => {
                     report.total_cycles += ep.total_cycles();
                     report.cpu_instrs += ep.warmup_instrs;
@@ -773,9 +979,24 @@ pub fn run_offload(
     mem: &mut MemorySystem,
     system: &SystemConfig,
 ) -> Result<OffloadReport, MesaError> {
+    run_offload_traced(program, state, mem, system, &mut NullTracer)
+}
+
+/// [`run_offload`] with tracing (see
+/// [`MesaController::offload_traced`]).
+///
+/// # Errors
+/// Propagates [`MesaController::offload`] errors.
+pub fn run_offload_traced(
+    program: &Program,
+    state: &mut ArchState,
+    mem: &mut MemorySystem,
+    system: &SystemConfig,
+    tracer: &mut dyn Tracer,
+) -> Result<OffloadReport, MesaError> {
     let mut controller = MesaController::new(system.clone());
     let mut cpu = OoOCore::new(system.core);
-    controller.offload(program, state, mem, &mut cpu)
+    controller.offload_traced(program, state, mem, &mut cpu, tracer)
 }
 
 #[cfg(test)]
@@ -963,6 +1184,96 @@ mod tests {
             second.config.total(),
             first.config.total()
         );
+    }
+
+    #[test]
+    fn traced_offload_emits_balanced_phase_spans() {
+        let n = 2000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let mut tracer = mesa_trace::RingTracer::new(4096);
+        let report =
+            run_offload_traced(&p, &mut st, &mut mem, &SystemConfig::m128(), &mut tracer).unwrap();
+
+        assert!(tracer.open_spans().is_empty(), "open: {:?}", tracer.open_spans());
+        let chrome = tracer.to_chrome_trace();
+        let s = mesa_trace::validate_chrome_trace(&chrome).expect("valid chrome trace");
+        for required in ["detect", "cpu.warmup", "configure", "translate", "map",
+            "config.write", "config.transfer", "cpu.config_overlap", "offload", "accel.execute"]
+        {
+            assert!(
+                s.span_names.iter().any(|n| n == required),
+                "missing span {required}; have {:?}",
+                s.span_names
+            );
+        }
+        // Timestamps must be episode-consistent: no event before 0, the
+        // offload span must start at warmup + max(config, overlap).
+        let start = report.warmup_cycles
+            + report.config.total().max(report.config_phase_cpu_cycles);
+        let offload_begin = tracer
+            .events()
+            .iter()
+            .find(|e| matches!(&e.kind, mesa_trace::EventKind::Begin { name } if name == "offload"))
+            .expect("offload span present");
+        assert_eq!(offload_begin.cycle, start);
+        // With iterative optimization on (default), at least one
+        // reoptimize round is traced unless the loop finished in one
+        // profile segment.
+        if report.reconfigurations > 0 {
+            assert!(s.span_names.iter().any(|n| n == "reoptimize"));
+        }
+        assert!(report.cpu_phase_traffic.l1_accesses > 0);
+    }
+
+    #[test]
+    fn traced_rejection_emits_reject_event_and_stays_balanced() {
+        let (p, mut st) = sum_kernel(20);
+        let mut mem = mem_with_data(20);
+        let mut tracer = mesa_trace::RingTracer::new(1024);
+        let err =
+            run_offload_traced(&p, &mut st, &mut mem, &SystemConfig::m128(), &mut tracer)
+                .unwrap_err();
+        assert!(matches!(err, MesaError::Rejected(_)));
+        assert!(tracer.open_spans().is_empty());
+        let has_reject = tracer.events().iter().any(|e| {
+            matches!(&e.kind, mesa_trace::EventKind::Instant { name, detail }
+                if name == "reject" && detail.contains("C3"))
+        });
+        assert!(has_reject, "reject instant with rendered reason expected");
+    }
+
+    #[test]
+    fn untraced_and_traced_offloads_agree() {
+        let n = 2000;
+        let (p, st0) = sum_kernel(n);
+        let mut st_a = st0.clone();
+        let mut mem_a = mem_with_data(n);
+        let a = run_offload(&p, &mut st_a, &mut mem_a, &SystemConfig::m128()).unwrap();
+        let mut st_b = st0;
+        let mut mem_b = mem_with_data(n);
+        let mut tracer = mesa_trace::RingTracer::new(4096);
+        let b =
+            run_offload_traced(&p, &mut st_b, &mut mem_b, &SystemConfig::m128(), &mut tracer)
+                .unwrap();
+        assert_eq!(a.accel_iterations, b.accel_iterations);
+        assert_eq!(a.total_cycles(), b.total_cycles());
+        assert_eq!(st_a.read(T1), st_b.read(T1));
+    }
+
+    #[test]
+    fn offload_report_registers_metrics() {
+        let n = 2000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let r = run_offload(&p, &mut st, &mut mem, &SystemConfig::m128()).unwrap();
+        let mut reg = MetricsRegistry::new();
+        r.record_metrics(&mut reg);
+        assert_eq!(reg.counter("offload.episodes"), 1);
+        assert_eq!(reg.counter("offload.accel_iterations"), r.accel_iterations);
+        assert_eq!(reg.counter("offload.warmup_cycles"), r.warmup_cycles);
+        assert!(reg.counter("offload.activity.loads") > 0);
+        assert!(reg.gauge_value("offload.cycles_per_iteration").is_some());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! 10³–10⁴-cycle range reported in Table 2 ("JIT (ns-µs)").
 
 use crate::MapperConfig;
+use mesa_trace::{Subsystem, Tracer};
 
 /// Per-stage cycle counts of the `imap` FSM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +110,49 @@ pub fn config_latency(
         write_cycles: timing.config_write_per_node * n * n_tiles.max(1) as u64,
         transfer_cycles: timing.control_transfer,
     }
+}
+
+/// Emits the `map` span with one aggregated child span per `imap` FSM
+/// stage (Fig. 8) onto the controller timeline, starting at `start`.
+///
+/// Hardware interleaves the stages per instruction; the trace aggregates
+/// each stage's total dwell (`stage_cycles × n_instrs`) into one span so a
+/// 512-instruction region costs 7 spans instead of ~3500 events. The
+/// stage spans tile the map window exactly: the returned end cycle is
+/// `start + per_instr_cycles(mapper) × n_instrs`.
+pub fn trace_map_stages(
+    timing: &ImapTiming,
+    mapper: &MapperConfig,
+    n_instrs: u64,
+    start: u64,
+    tracer: &mut dyn Tracer,
+) -> u64 {
+    let reduce = timing.reduce_cycles(mapper.window_rows, mapper.window_cols);
+    let end = start + timing.per_instr_cycles(mapper) * n_instrs;
+    if !tracer.enabled() {
+        return end;
+    }
+    tracer.span_begin(Subsystem::Controller, "map", start);
+    let mut t = start;
+    for (name, per_instr) in [
+        ("imap.fetch", timing.fetch),
+        ("imap.gen_candidates", timing.gen_candidates),
+        ("imap.filter", timing.filter),
+        ("imap.latency_eval", timing.latency_eval),
+        ("imap.reduce", reduce),
+        ("imap.writeback", timing.writeback),
+    ] {
+        let dwell = per_instr * n_instrs;
+        if dwell == 0 {
+            continue;
+        }
+        tracer.span_begin(Subsystem::Controller, name, t);
+        t += dwell;
+        tracer.span_end(Subsystem::Controller, name, t);
+    }
+    debug_assert_eq!(t, end);
+    tracer.span_end(Subsystem::Controller, "map", end);
+    end
 }
 
 /// Cycles for a *re*configuration during iterative optimization: the LDFG
@@ -324,6 +368,21 @@ mod tests {
         assert_eq!(one.ldfg_cycles, four.ldfg_cycles);
         assert_eq!(one.map_cycles, four.map_cycles);
         assert_eq!(four.write_cycles, 4 * one.write_cycles);
+    }
+
+    #[test]
+    fn trace_map_stages_tiles_the_map_window() {
+        let t = ImapTiming::default();
+        let m = MapperConfig::default();
+        let mut tracer = mesa_trace::RingTracer::new(64);
+        let end = trace_map_stages(&t, &m, 10, 100, &mut tracer);
+        assert_eq!(end, 100 + 10 * t.per_instr_cycles(&m));
+        assert!(tracer.open_spans().is_empty());
+        // map + 6 stages, each begin+end.
+        assert_eq!(tracer.len(), 2 * 7);
+        let chrome = tracer.to_chrome_trace();
+        let s = mesa_trace::validate_chrome_trace(&chrome).unwrap();
+        assert!(s.span_names.iter().any(|n| n == "imap.reduce"));
     }
 
     #[test]

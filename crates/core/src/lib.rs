@@ -64,11 +64,12 @@ pub mod optimizer;
 
 pub use configure::{build_accel_program, choose_tiles, ConfigCache, OptFlags};
 pub use controller::{
-    run_offload, MesaController, MesaError, OffloadReport, ProgramRunReport, SystemConfig,
+    run_offload, run_offload_traced, MesaController, MesaError, OffloadReport, ProgramRunReport,
+    SystemConfig,
 };
 pub use detect::{check_region, estimate_trip_count, DetectConfig, DetectedRegion, RejectReason};
 pub use dfg::{BuildError, Ldfg, LdfgNode};
-pub use imap::{config_latency, reconfig_latency, ConfigLatency, ImapTiming};
+pub use imap::{config_latency, reconfig_latency, trace_map_stages, ConfigLatency, ImapTiming};
 pub use mapper::{map_instructions, MapperConfig, Sdfg, WindowMode};
 pub use memopt::{analyze as analyze_memopts, MemOptPlan};
 pub use optimizer::{apply_counters, reoptimize, ReoptOutcome};

@@ -9,6 +9,7 @@
 use crate::{CoreConfig, NullMonitor, OoOCore, RunLimits, RunResult};
 use mesa_isa::{ArchState, Program};
 use mesa_mem::{MemConfig, MemorySystem};
+use mesa_trace::{NullTracer, Subsystem, Tracer};
 
 /// Result of a multicore run.
 #[derive(Debug, Clone)]
@@ -73,8 +74,26 @@ impl Multicore {
     pub fn run_parallel(
         &mut self,
         program: &Program,
+        make_state: impl FnMut(usize) -> ArchState,
+        limits: RunLimits,
+    ) -> MulticoreResult {
+        self.run_parallel_traced(program, make_state, limits, &mut NullTracer)
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with tracing: emits one
+    /// `multicore.run_parallel` span covering the wall-clock window plus
+    /// per-core cycle/retire counter samples.
+    ///
+    /// Per-core *spans* would overlap on the single CPU timeline (cores
+    /// share one trace thread and all start at cycle 0), which breaks
+    /// Chrome-trace begin/end nesting — so per-core data is emitted as
+    /// counters instead.
+    pub fn run_parallel_traced(
+        &mut self,
+        program: &Program,
         mut make_state: impl FnMut(usize) -> ArchState,
         limits: RunLimits,
+        tracer: &mut dyn Tracer,
     ) -> MulticoreResult {
         let l2_before = self.mem.l2_stats().accesses();
         let dram_before = self.mem.dram_accesses();
@@ -94,6 +113,14 @@ impl Multicore {
         let dram_demand = self.mem.dram_accesses() - dram_before;
         let cycles = slowest.max(self.mem.bandwidth_bound_cycles(l2_demand, dram_demand));
         let retired = per_core.iter().map(|r| r.retired).sum();
+        if tracer.enabled() {
+            tracer.span_begin(Subsystem::Cpu, "multicore.run_parallel", 0);
+            for (id, r) in per_core.iter().enumerate() {
+                tracer.counter(Subsystem::Cpu, &format!("core.{id}.cycles"), r.cycles, cycles);
+                tracer.counter(Subsystem::Cpu, &format!("core.{id}.retired"), r.retired, cycles);
+            }
+            tracer.span_end(Subsystem::Cpu, "multicore.run_parallel", cycles);
+        }
         MulticoreResult { per_core, final_states, cycles, retired }
     }
 
@@ -194,5 +221,34 @@ mod tests {
         );
         assert_eq!(r.cycles, r.per_core.iter().map(|c| c.cycles).max().unwrap());
         assert!(r.per_core[0].cycles > r.per_core[1].cycles);
+    }
+
+    #[test]
+    fn traced_run_emits_balanced_span_and_per_core_counters() {
+        let program = chunk_kernel();
+        const BASE: u64 = 0x10_0000;
+        let mut mc = Multicore::new(CoreConfig::default(), MemConfig::default(), 2);
+        for i in 0..256u64 {
+            mc.mem_mut().data_mut().store_u32(BASE + 4 * i, 1);
+        }
+        let mut tracer = mesa_trace::RingTracer::new(256);
+        let r = mc.run_parallel_traced(
+            &program,
+            |id| {
+                let mut st = ArchState::new(0x1000, Xlen::Rv32);
+                st.write(A0, BASE + 4 * 128 * id as u64);
+                st.write(A1, BASE + 4 * 128 * (id as u64 + 1));
+                st
+            },
+            RunLimits::none(),
+            &mut tracer,
+        );
+        assert!(tracer.open_spans().is_empty());
+        // span begin/end + 2 counters per core
+        assert_eq!(tracer.len(), 2 + 2 * 2);
+        let chrome = tracer.to_chrome_trace();
+        let summary = mesa_trace::validate_chrome_trace(&chrome).expect("valid chrome trace");
+        assert!(summary.span_names.iter().any(|n| n == "multicore.run_parallel"));
+        assert!(r.cycles > 0);
     }
 }

@@ -63,6 +63,13 @@ pub struct RunResult {
     pub branches: u64,
     /// Mispredicted branches.
     pub mispredicts: u64,
+    /// Cycles instructions spent waiting between operand readiness and
+    /// issue (functional-unit and issue-bandwidth pressure), summed over
+    /// all retired instructions.
+    pub issue_wait_cycles: u64,
+    /// Fetch redirects taken (branch mispredictions plus indirect jumps
+    /// that moved the fetch point).
+    pub fetch_redirects: u64,
     /// Why the run stopped.
     pub stop: StopReason,
 }
@@ -76,6 +83,19 @@ impl RunResult {
         } else {
             self.retired as f64 / self.cycles as f64
         }
+    }
+
+    /// Registers the pipeline story — fetch, issue, retire, branch — as
+    /// counters named `<prefix>.cycles`, `<prefix>.retired`, etc.
+    pub fn record_metrics(&self, reg: &mut mesa_trace::MetricsRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.cycles"), self.cycles);
+        reg.add(&format!("{prefix}.retired"), self.retired);
+        reg.add(&format!("{prefix}.loads"), self.loads);
+        reg.add(&format!("{prefix}.stores"), self.stores);
+        reg.add(&format!("{prefix}.branches"), self.branches);
+        reg.add(&format!("{prefix}.mispredicts"), self.mispredicts);
+        reg.add(&format!("{prefix}.issue_wait_cycles"), self.issue_wait_cycles);
+        reg.add(&format!("{prefix}.fetch_redirects"), self.fetch_redirects);
     }
 }
 
@@ -172,6 +192,8 @@ impl OoOCore {
             stores: 0,
             branches: 0,
             mispredicts: 0,
+            issue_wait_cycles: 0,
+            fetch_redirects: 0,
             stop: StopReason::OutOfProgram,
         };
 
@@ -252,6 +274,7 @@ impl OoOCore {
                 }
                 issue += 1;
             }
+            result.issue_wait_cycles += issue - ready;
 
             // ---- execute latency ----
             let (latency, mem_latency, occupancy) = match class {
@@ -305,6 +328,7 @@ impl OoOCore {
                         result.mispredicts += 1;
                         let redirect = complete + cfg.mispredict_penalty;
                         if redirect > fetch_cycle {
+                            result.fetch_redirects += 1;
                             fetch_cycle = redirect;
                             fetched_this_cycle = 0;
                         }
@@ -315,6 +339,7 @@ impl OoOCore {
                     if instr.op == mesa_isa::Opcode::Jalr => {
                         let redirect = complete + 1;
                         if redirect > fetch_cycle {
+                            result.fetch_redirects += 1;
                             fetch_cycle = redirect;
                             fetched_this_cycle = 0;
                         }
@@ -524,6 +549,25 @@ mod tests {
         let mut mon = Collect(Vec::new());
         core.run(&p, &mut st, &mut mem, 0, RunLimits::none(), &mut mon);
         assert_eq!(mon.0, vec![0x1000, 0x1004]);
+    }
+
+    #[test]
+    fn pipeline_counters_accumulate_and_register() {
+        let (r, _) = run_program(|a| {
+            a.li(A0, 0x10000);
+            // 16 independent loads: 4 become ready per fetch cycle but
+            // only mem_ports(=2) can issue, so some must wait.
+            for i in 0..16 {
+                a.lw(T0, A0, i * 4);
+            }
+        });
+        assert!(r.issue_wait_cycles > 0, "issue_wait = {}", r.issue_wait_cycles);
+        assert!(r.fetch_redirects <= r.mispredicts + r.branches);
+        let mut reg = mesa_trace::MetricsRegistry::new();
+        r.record_metrics(&mut reg, "cpu");
+        assert_eq!(reg.counter("cpu.retired"), r.retired);
+        assert_eq!(reg.counter("cpu.issue_wait_cycles"), r.issue_wait_cycles);
+        assert_eq!(reg.counter("cpu.fetch_redirects"), r.fetch_redirects);
     }
 
     #[test]

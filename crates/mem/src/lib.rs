@@ -33,4 +33,4 @@ pub mod system;
 pub use amat::{AmatEntry, AmatTable};
 pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
 pub use sparse::SparseMemory;
-pub use system::{AccessLatency, MemConfig, MemorySystem, ServedBy};
+pub use system::{AccessLatency, MemConfig, MemTraffic, MemorySystem, ServedBy};

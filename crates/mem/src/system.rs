@@ -8,6 +8,7 @@
 //! L2 is modelled here.
 
 use crate::{Cache, CacheConfig, CacheStats, SparseMemory};
+use mesa_trace::{MetricsRegistry, Subsystem, Tracer};
 
 /// Parameters of the whole memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +64,64 @@ pub enum ServedBy {
     L2,
     /// Missed both levels; DRAM supplied the line.
     Dram,
+}
+
+/// Aggregate traffic totals across the whole hierarchy — monotonic
+/// counters suitable for phase attribution by snapshot/diff.
+///
+/// Capture one [`MemorySystem::traffic`] at a phase boundary and subtract
+/// with [`MemTraffic::since`] to get the traffic of just that phase; this
+/// is how the harness keeps warmup traffic out of the accelerated-phase
+/// energy numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTraffic {
+    /// Total L1 accesses, summed over requesters.
+    pub l1_accesses: u64,
+    /// Total L1 misses, summed over requesters.
+    pub l1_misses: u64,
+    /// Shared-L2 accesses.
+    pub l2_accesses: u64,
+    /// Shared-L2 misses.
+    pub l2_misses: u64,
+    /// DRAM line fills.
+    pub dram_accesses: u64,
+}
+
+impl MemTraffic {
+    /// The traffic accumulated since `earlier` (saturating, so a stats
+    /// reset in between reads as zero rather than wrapping).
+    #[must_use]
+    pub fn since(&self, earlier: &MemTraffic) -> MemTraffic {
+        MemTraffic {
+            l1_accesses: self.l1_accesses.saturating_sub(earlier.l1_accesses),
+            l1_misses: self.l1_misses.saturating_sub(earlier.l1_misses),
+            l2_accesses: self.l2_accesses.saturating_sub(earlier.l2_accesses),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            dram_accesses: self.dram_accesses.saturating_sub(earlier.dram_accesses),
+        }
+    }
+
+    /// Registers the totals as counters named `<prefix>.l1_accesses` etc.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.l1_accesses"), self.l1_accesses);
+        reg.add(&format!("{prefix}.l1_misses"), self.l1_misses);
+        reg.add(&format!("{prefix}.l2_accesses"), self.l2_accesses);
+        reg.add(&format!("{prefix}.l2_misses"), self.l2_misses);
+        reg.add(&format!("{prefix}.dram_accesses"), self.dram_accesses);
+    }
+
+    /// Emits the totals as counter events on the memory timeline at
+    /// `cycle`.
+    pub fn trace_counters(&self, tracer: &mut dyn Tracer, cycle: u64) {
+        if !tracer.enabled() {
+            return;
+        }
+        tracer.counter(Subsystem::Memory, "mem.l1_accesses", self.l1_accesses, cycle);
+        tracer.counter(Subsystem::Memory, "mem.l1_misses", self.l1_misses, cycle);
+        tracer.counter(Subsystem::Memory, "mem.l2_accesses", self.l2_accesses, cycle);
+        tracer.counter(Subsystem::Memory, "mem.l2_misses", self.l2_misses, cycle);
+        tracer.counter(Subsystem::Memory, "mem.dram_accesses", self.dram_accesses, cycle);
+    }
 }
 
 /// A multi-requester two-level memory system over sparse backing storage.
@@ -176,6 +235,37 @@ impl MemorySystem {
         self.dram_accesses
     }
 
+    /// Current aggregate traffic totals across the whole hierarchy.
+    #[must_use]
+    pub fn traffic(&self) -> MemTraffic {
+        let mut t = MemTraffic { dram_accesses: self.dram_accesses, ..MemTraffic::default() };
+        for l1 in &self.l1s {
+            let s = l1.stats();
+            t.l1_accesses += s.accesses();
+            t.l1_misses += s.misses;
+        }
+        let l2 = self.l2.stats();
+        t.l2_accesses = l2.accesses();
+        t.l2_misses = l2.misses;
+        t
+    }
+
+    /// Registers per-level statistics into `reg` under `<prefix>.…`:
+    /// aggregate traffic plus per-requester L1 hit/miss/writeback counts.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        self.traffic().record_metrics(reg, prefix);
+        for (id, l1) in self.l1s.iter().enumerate() {
+            let s = l1.stats();
+            reg.add(&format!("{prefix}.l1.{id}.hits"), s.hits);
+            reg.add(&format!("{prefix}.l1.{id}.misses"), s.misses);
+            reg.add(&format!("{prefix}.l1.{id}.writebacks"), s.writebacks);
+        }
+        let l2 = self.l2.stats();
+        reg.add(&format!("{prefix}.l2.hits"), l2.hits);
+        reg.add(&format!("{prefix}.l2.misses"), l2.misses);
+        reg.add(&format!("{prefix}.l2.writebacks"), l2.writebacks);
+    }
+
     /// Clears the L2 bank busy schedule.
     ///
     /// Each requester's timeline starts at cycle 0 when cores are simulated
@@ -270,6 +360,36 @@ mod tests {
         let b = m.access(1, 0x0040, false, 0); // next line → next bank
         assert_eq!(a.bank_wait, 0);
         assert_eq!(b.bank_wait, 0);
+    }
+
+    #[test]
+    fn traffic_snapshots_diff_cleanly() {
+        let mut m = sys();
+        m.access(0, 0x1000, false, 0); // L1 miss, L2 miss, DRAM
+        let warmup = m.traffic();
+        assert_eq!(warmup.l1_accesses, 1);
+        assert_eq!(warmup.dram_accesses, 1);
+        m.access(0, 0x1000, false, 10); // L1 hit
+        m.access(1, 0x1000, false, 20); // L1 miss, L2 hit
+        let phase = m.traffic().since(&warmup);
+        assert_eq!(phase.l1_accesses, 2);
+        assert_eq!(phase.l1_misses, 1);
+        assert_eq!(phase.l2_accesses, 1);
+        assert_eq!(phase.l2_misses, 0);
+        assert_eq!(phase.dram_accesses, 0);
+    }
+
+    #[test]
+    fn record_metrics_registers_all_levels() {
+        let mut m = sys();
+        m.access(0, 0x1000, false, 0);
+        m.access(0, 0x1000, true, 10);
+        let mut reg = mesa_trace::MetricsRegistry::new();
+        m.record_metrics(&mut reg, "mem");
+        assert_eq!(reg.counter("mem.l1_accesses"), 2);
+        assert_eq!(reg.counter("mem.l1.0.hits"), 1);
+        assert_eq!(reg.counter("mem.dram_accesses"), 1);
+        assert_eq!(reg.counter("mem.l2.misses"), 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use mesa_cpu::{CoreConfig, NullMonitor, OoOCore, RunLimits};
 use mesa_isa::{codec, OpClass};
 use mesa_mem::{MemConfig, MemorySystem};
 use mesa_test::BenchSuite;
+use mesa_trace::NullTracer;
 use mesa_workloads::{by_name, KernelSize};
 use std::hint::black_box;
 
@@ -66,7 +67,7 @@ fn bench_mapper(suite: &mut BenchSuite) {
     });
 }
 
-fn bench_engine(suite: &mut BenchSuite) {
+fn nn_engine_setup() -> (mesa_workloads::Kernel, SpatialAccelerator, mesa_accel::AccelProgram) {
     let kernel = by_name("nn", KernelSize::Tiny).expect("nn");
     let r = region("nn");
     let ldfg = Ldfg::build(&r).expect("builds");
@@ -90,11 +91,31 @@ fn bench_engine(suite: &mut BenchSuite) {
         &OptFlags::none(),
         kernel.iterations,
     );
+    (kernel, sa, prog)
+}
+
+fn bench_engine(suite: &mut BenchSuite) {
+    let (kernel, sa, prog) = nn_engine_setup();
     suite.run("engine/nn_512_iterations_on_m128", 20, || {
         let mut mem = MemorySystem::new(MemConfig::default(), 1);
         kernel.populate(mem.data_mut());
         black_box(
             sa.execute(&prog, &kernel.entry, &mut mem, 0, 1_000_000)
+                .expect("runs"),
+        )
+    });
+}
+
+/// The same engine workload through the traced entry point with a
+/// [`NullTracer`]: `scripts/ci.sh` gates this against the untraced run
+/// above, so the disabled-tracing fast path stays free.
+fn bench_engine_null_tracer(suite: &mut BenchSuite) {
+    let (kernel, sa, prog) = nn_engine_setup();
+    suite.run("tracer/null_engine_nn_on_m128", 20, || {
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        kernel.populate(mem.data_mut());
+        black_box(
+            sa.execute_traced(&prog, &kernel.entry, &mut mem, 0, 1_000_000, &mut NullTracer, 0)
                 .expect("runs"),
         )
     });
@@ -124,6 +145,7 @@ fn main() {
     bench_ldfg_build(&mut suite);
     bench_mapper(&mut suite);
     bench_engine(&mut suite);
+    bench_engine_null_tracer(&mut suite);
     bench_ooo_core(&mut suite);
     suite.write_json(OUT_PATH).expect("writes BENCH_components.json");
     println!("wrote {OUT_PATH}");

@@ -2,16 +2,37 @@
 //!
 //! Usage: `cargo run --release -p mesa-bench --bin figures [-- <what> [size]]`
 //! where `<what>` is one of `table1 table2 fig11 fig12 fig13 fig14 fig15
-//! fig16 crossover all` (default `all`) and `size` is `tiny|small|large` (default
-//! `small`).
+//! fig16 crossover trace all` (default `all`) and `size` is `tiny|small|large`
+//! (default `small`).
+//!
+//! Passing `--trace <path>` (or setting `MESA_TRACE=<path>`) captures a
+//! cycle-timestamped trace of one full `nn` offload episode: a Chrome
+//! trace-event file at `<path>` (load in Perfetto or `chrome://tracing`),
+//! the raw event log at `<path>.jsonl`, and a timeline summary plus the
+//! metrics registry on stdout. With no positional argument, `--trace`
+//! captures only the trace (it does not regenerate the figures).
 
 use mesa_bench as bench;
-use mesa_workloads::KernelSize;
+use mesa_core::SystemConfig;
+use mesa_trace::{MetricsRegistry, RingTracer};
+use mesa_workloads::{by_name, KernelSize};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map_or("all", String::as_str);
-    let size = match args.get(1).map(String::as_str) {
+    let mut trace_path = std::env::var("MESA_TRACE").ok().filter(|p| !p.is_empty());
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace_path = args.next();
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            trace_path = Some(p.to_string());
+        } else {
+            rest.push(a);
+        }
+    }
+    let default_what = if trace_path.is_some() { "trace" } else { "all" };
+    let what = rest.first().map_or(default_what, String::as_str);
+    let size = match rest.get(1).map(String::as_str) {
         Some("tiny") => KernelSize::Tiny,
         Some("large") => KernelSize::Large,
         _ => KernelSize::Small,
@@ -19,6 +40,11 @@ fn main() {
 
     let run = |name: &str| what == "all" || what == name;
 
+    // `trace` only runs when asked for by name or by path — `all` does
+    // not silently write trace files.
+    if what == "trace" || trace_path.is_some() {
+        capture_trace(trace_path.as_deref().unwrap_or("mesa_trace.json"), size);
+    }
     if run("table1") {
         print_table1();
     }
@@ -46,6 +72,34 @@ fn main() {
     if run("crossover") {
         print_crossover(size);
     }
+}
+
+fn capture_trace(path: &str, size: KernelSize) {
+    let kernel = by_name("nn", size).expect("nn is registered");
+    let mut tracer = RingTracer::new(1 << 16);
+    let run = bench::mesa_offload_traced(
+        &kernel,
+        &SystemConfig::m128(),
+        bench::BASELINE_CORES,
+        &mut tracer,
+    );
+    // Write the artifacts before printing anything long, so a closed
+    // stdout pipe can't lose them.
+    let jsonl_path = format!("{path}.jsonl");
+    std::fs::write(path, tracer.to_chrome_trace())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    std::fs::write(&jsonl_path, tracer.to_json_lines())
+        .unwrap_or_else(|e| panic!("writing {jsonl_path}: {e}"));
+    println!("== Trace: one nn offload episode on M-128 ==");
+    println!("{}", tracer.timeline_summary());
+    let mut reg = MetricsRegistry::new();
+    if let Some(report) = &run.report {
+        report.record_metrics(&mut reg);
+        println!("{}", reg.render());
+    }
+    println!(
+        "wrote Chrome trace to {path} (open in Perfetto or chrome://tracing) and event log to {jsonl_path}\n"
+    );
 }
 
 fn print_crossover(size: KernelSize) {

@@ -1,28 +1,101 @@
-//! Diagnostic dump: map one kernel, execute it, and print the placement,
-//! per-node measured latencies, and activity — the raw data behind the
-//! figures, for calibration and debugging.
+//! Diagnostic dump: run one kernel through the full MESA controller, then
+//! map and execute its region by hand, printing the placement, per-node
+//! measured latencies, and activity — the raw data behind the figures, for
+//! calibration and debugging. Kernels the controller rejects get their
+//! rejection reason printed instead of a silent fallthrough.
 //!
-//! Usage: `cargo run --release -p mesa-bench --bin inspect -- <kernel> [tiny|small]`
+//! Usage: `cargo run --release -p mesa-bench --bin inspect -- <kernel>
+//! [tiny|small|large] [--trace <path>]`
+//!
+//! `--trace <path>` (or `MESA_TRACE=<path>`) additionally writes a Chrome
+//! trace-event file of the controller episode to `<path>` and the raw
+//! event log to `<path>.jsonl`.
 
 use mesa_accel::{AccelConfig, Coord, SpatialAccelerator};
 use mesa_bench::region_ldfg;
 use mesa_core::{
-    analyze_memopts, build_accel_program, map_instructions, MapperConfig, OptFlags,
+    analyze_memopts, build_accel_program, map_instructions, run_offload_traced, MapperConfig,
+    MesaError, OptFlags,
 };
 use mesa_isa::OpClass;
 use mesa_mem::{MemConfig, MemorySystem};
+use mesa_trace::{EventKind, RingTracer};
 use mesa_workloads::{by_name, KernelSize};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map_or("nn", String::as_str);
-    let size = match args.get(1).map(String::as_str) {
+    let mut trace_path = std::env::var("MESA_TRACE").ok().filter(|p| !p.is_empty());
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace_path = args.next();
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            trace_path = Some(p.to_string());
+        } else {
+            rest.push(a);
+        }
+    }
+    let name = rest.first().map_or("nn", String::as_str);
+    let size = match rest.get(1).map(String::as_str) {
         Some("tiny") => KernelSize::Tiny,
         Some("large") => KernelSize::Large,
         _ => KernelSize::Small,
     };
     let kernel = by_name(name, size).expect("kernel exists");
-    let ldfg = region_ldfg(&kernel).expect("region builds");
+
+    // Full controller episode first: this is what the system would really
+    // do, and it surfaces the rejection diagnostics for kernels that fail
+    // C1–C3 (or never form a stable loop).
+    let system = mesa_core::SystemConfig::m128();
+    let mut tracer = RingTracer::new(1 << 16);
+    let mut sys_mem = MemorySystem::new(system.mem, 2);
+    kernel.populate(sys_mem.data_mut());
+    let mut sys_state = kernel.entry.clone();
+    match run_offload_traced(&kernel.program, &mut sys_state, &mut sys_mem, &system, &mut tracer) {
+        Ok(report) => println!(
+            "{}: offloaded — warmup {} + config {} (cpu overlapped {}) + accel {} cycles, \
+             {} iterations on the fabric ({:.2} cyc/iter), {} reconfiguration(s)",
+            kernel.name,
+            report.warmup_cycles,
+            report.config.total(),
+            report.config_phase_cpu_cycles,
+            report.accel_cycles,
+            report.accel_iterations,
+            report.cycles_per_iteration(),
+            report.reconfigurations,
+        ),
+        Err(MesaError::Rejected(reason)) => {
+            println!("{}: offload REJECTED — {reason}", kernel.name);
+            for ev in tracer.events() {
+                if let EventKind::Instant { name, detail } = &ev.kind {
+                    if name == "reject" {
+                        println!("  cycle {}: {detail}", ev.cycle);
+                    }
+                }
+            }
+            println!("  (execution stays on the host CPU; the dump below maps the region by hand)");
+        }
+        Err(e) => println!("{}: offload did not complete — {e}", kernel.name),
+    }
+    if let Some(path) = &trace_path {
+        let jsonl_path = format!("{path}.jsonl");
+        std::fs::write(path, tracer.to_chrome_trace())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        std::fs::write(&jsonl_path, tracer.to_json_lines())
+            .unwrap_or_else(|e| panic!("writing {jsonl_path}: {e}"));
+        println!("wrote Chrome trace to {path} and event log to {jsonl_path}");
+    }
+    println!();
+
+    // Manual mapping dump (independent of the controller's verdict, where
+    // the region is structurally buildable at all).
+    let Some(ldfg) = region_ldfg(&kernel) else {
+        println!(
+            "{}: the loop region's LDFG cannot be built, nothing to map by hand",
+            kernel.name
+        );
+        return;
+    };
 
     let accel_cfg = AccelConfig::m128();
     let accel = SpatialAccelerator::new(accel_cfg);

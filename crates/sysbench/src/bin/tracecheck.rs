@@ -1,0 +1,121 @@
+//! CI-facing trace and benchmark validators.
+//!
+//! Two subcommands, both exiting non-zero with a diagnostic on failure:
+//!
+//! * `tracecheck chrome <path>` — parses `<path>` as a Chrome trace-event
+//!   file (full JSON syntax check, no external parser), requires it to be
+//!   non-empty with balanced span begin/end events, and requires the
+//!   controller-phase spans `detect`, `translate`, `map`, `configure`, and
+//!   `offload` to be present. Used by `scripts/ci.sh` as the trace smoke
+//!   test.
+//! * `tracecheck benchgate <bench.json> <name_a> <name_b> <max_ratio>` —
+//!   reads the JSON-lines microbench report written by the `components`
+//!   bench and asserts `median_ns(name_a) <= median_ns(name_b) *
+//!   max_ratio`. Used to gate the `NullTracer` overhead against the
+//!   untraced engine path.
+
+use mesa_trace::validate_chrome_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("chrome") => check_chrome(args.get(1).map_or("", String::as_str)),
+        Some("benchgate") => check_benchgate(&args[1..]),
+        _ => Err(
+            "usage: tracecheck chrome <trace.json>\n\
+             \x20      tracecheck benchgate <bench.json> <name_a> <name_b> <max_ratio>"
+                .to_string(),
+        ),
+    };
+    match result {
+        Ok(msg) => {
+            println!("tracecheck: {msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("tracecheck: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Controller-phase spans every successful offload trace must contain.
+const REQUIRED_SPANS: [&str; 5] = ["detect", "translate", "map", "configure", "offload"];
+
+fn check_chrome(path: &str) -> Result<String, String> {
+    if path.is_empty() {
+        return Err("chrome: missing <trace.json> path".into());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let summary = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    for name in REQUIRED_SPANS {
+        if !summary.span_names.iter().any(|n| n == name) {
+            return Err(format!(
+                "{path}: required span {name:?} missing (spans present: {:?})",
+                summary.span_names
+            ));
+        }
+    }
+    Ok(format!(
+        "{path}: well-formed Chrome trace, {} events ({} spans: {:?})",
+        summary.events,
+        summary.begins,
+        summary.span_names
+    ))
+}
+
+fn check_benchgate(args: &[String]) -> Result<String, String> {
+    let [bench, name_a, name_b, max_ratio] = args else {
+        return Err("benchgate: expected <bench.json> <name_a> <name_b> <max_ratio>".into());
+    };
+    let max_ratio: f64 = max_ratio
+        .parse()
+        .map_err(|e| format!("benchgate: bad max_ratio {max_ratio:?}: {e}"))?;
+    let text = std::fs::read_to_string(bench).map_err(|e| format!("reading {bench}: {e}"))?;
+    let a = median_ns(&text, name_a).ok_or_else(|| format!("{bench}: no entry {name_a:?}"))?;
+    let b = median_ns(&text, name_b).ok_or_else(|| format!("{bench}: no entry {name_b:?}"))?;
+    let ratio = a / b.max(f64::MIN_POSITIVE);
+    if ratio <= max_ratio {
+        Ok(format!(
+            "{name_a} = {a:.0} ns vs {name_b} = {b:.0} ns: ratio {ratio:.3} <= {max_ratio}"
+        ))
+    } else {
+        Err(format!(
+            "{name_a} = {a:.0} ns vs {name_b} = {b:.0} ns: ratio {ratio:.3} exceeds {max_ratio}"
+        ))
+    }
+}
+
+/// Extracts `median_ns` for the named benchmark from the JSON-lines report
+/// the in-repo `mesa-test` BenchSuite writes (one object per line with
+/// `"name"` and `"median_ns"` fields).
+fn median_ns(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\":\"{name}\"");
+    for line in text.lines() {
+        let compact: String = line.split_whitespace().collect();
+        if !compact.contains(&needle) {
+            continue;
+        }
+        let (_, rest) = compact.split_once("\"median_ns\":")?;
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        return num.parse().ok();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_extraction_handles_spacing() {
+        let text = "{ \"name\": \"a/b\", \"median_ns\": 125.5 }\n{\"name\":\"c\",\"median_ns\":3}\n";
+        assert_eq!(median_ns(text, "a/b"), Some(125.5));
+        assert_eq!(median_ns(text, "c"), Some(3.0));
+        assert_eq!(median_ns(text, "missing"), None);
+    }
+}

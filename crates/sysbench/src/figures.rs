@@ -11,7 +11,7 @@ use mesa_core::{config_latency, ImapTiming, MapperConfig, OptFlags, SystemConfig
 use mesa_cpu::CoreConfig;
 use mesa_power::{
     accel_energy, amortization_series, config_energy, cpu_energy, table1_rows, EnergyBreakdown,
-    EnergyParams, MemActivity, Table1Row,
+    EnergyParams, Table1Row,
 };
 use mesa_workloads::{
     all, by_name, Kernel, KernelSize, DYNASPAM_SHARED, OPENCGRA_COMPATIBLE, POWER_BREAKDOWN_SET,
@@ -27,12 +27,16 @@ fn mesa_energy(run: &MesaRun, p: &EnergyParams) -> EnergyBreakdown {
         // power-gated (§6.1 assumes disabled units are clock-gated).
         Some(r) => {
             let pes_active = r.counters.nodes.len() * r.tiles;
-            accel_energy(&r.activity, &run.mem, r.accel_cycles, pes_active, p)
+            // Charge each phase its own traffic: the harness splits the
+            // episode's memory activity at the controller's pre-offload
+            // snapshot, so warmup/config traffic lands on the CPU and only
+            // the accelerator's own accesses land on the fabric.
+            accel_energy(&r.activity, &run.accel_mem, r.accel_cycles, pes_active, p)
             .add(&config_energy(r.config.total() + r.reconfig_cycles, p))
             .add(&cpu_energy(
                 r.warmup_instrs + r.cpu_iterations_during_config * 8,
                 r.warmup_cycles + r.config_phase_cpu_cycles,
-                &MemActivity::default(),
+                &run.cpu_mem,
                 p,
             ))
         }
@@ -315,13 +319,15 @@ pub fn fig16(size: KernelSize) -> (Vec<(u64, f64)>, u64) {
         + cpu_energy(
             report.warmup_instrs + report.cpu_iterations_during_config * 13,
             report.warmup_cycles + report.config_phase_cpu_cycles,
-            &MemActivity::default(),
+            &run.cpu_mem,
             &p,
         )
         .total_nj();
     let pes_active = report.counters.nodes.len() * report.tiles;
-    let steady_nj = accel_energy(&report.activity, &run.mem, report.accel_cycles, pes_active, &p).total_nj()
-        / report.accel_iterations.max(1) as f64;
+    let steady_nj =
+        accel_energy(&report.activity, &run.accel_mem, report.accel_cycles, pes_active, &p)
+            .total_nj()
+            / report.accel_iterations.max(1) as f64;
     let points = [1u64, 2, 5, 10, 20, 35, 50, 70, 100, 150, 250, 500, 1000];
     let series = amortization_series(config_nj, steady_nj, &points);
     let break_even = mesa_power::break_even_iterations(config_nj, steady_nj, 1.0);

@@ -2,10 +2,11 @@
 //! 16-core multicore baseline, and the MESA system, collecting cycles and
 //! memory-hierarchy activity in the form the energy model consumes.
 
-use mesa_core::{run_offload, Ldfg, MesaError, OffloadReport, SystemConfig};
+use mesa_core::{run_offload_traced, Ldfg, MesaError, OffloadReport, SystemConfig};
 use mesa_cpu::{CoreConfig, Multicore, NullMonitor, OoOCore, RunLimits};
-use mesa_mem::{MemConfig, MemorySystem};
+use mesa_mem::{MemConfig, MemTraffic, MemorySystem};
 use mesa_power::MemActivity;
+use mesa_trace::{NullTracer, Subsystem, Tracer};
 use mesa_workloads::Kernel;
 
 /// Result of a CPU-only (single or multicore) measurement.
@@ -29,8 +30,33 @@ pub struct MesaRun {
     pub report: Option<OffloadReport>,
     /// Wall-clock cycles of the whole episode.
     pub cycles: u64,
-    /// Memory-hierarchy activity.
+    /// Memory-hierarchy activity of the whole episode (CPU + accelerator).
     pub mem: MemActivity,
+    /// Activity attributable to the CPU phases (warmup monitoring plus the
+    /// overlapped configuration phase) — sampled from the controller's
+    /// traffic snapshot just before the accelerator started, so the energy
+    /// model never double-charges warmup traffic to the accelerator. On the
+    /// fallback path this is the whole multicore run.
+    pub cpu_mem: MemActivity,
+    /// Activity attributable to accelerator execution (`mem` minus
+    /// `cpu_mem`; zero on the fallback path).
+    pub accel_mem: MemActivity,
+}
+
+fn traffic_activity(t: &MemTraffic) -> MemActivity {
+    MemActivity {
+        l1_accesses: t.l1_accesses,
+        l2_accesses: t.l2_accesses,
+        dram_accesses: t.dram_accesses,
+    }
+}
+
+fn activity_minus(total: &MemActivity, part: &MemActivity) -> MemActivity {
+    MemActivity {
+        l1_accesses: total.l1_accesses.saturating_sub(part.l1_accesses),
+        l2_accesses: total.l2_accesses.saturating_sub(part.l2_accesses),
+        dram_accesses: total.dram_accesses.saturating_sub(part.dram_accesses),
+    }
 }
 
 fn mem_activity(mem: &MemorySystem) -> MemActivity {
@@ -86,22 +112,53 @@ pub fn cpu_multicore(kernel: &Kernel, n: usize) -> BaselineRun {
 /// deployment would do.
 #[must_use]
 pub fn mesa_offload(kernel: &Kernel, system: &SystemConfig, fallback_cores: usize) -> MesaRun {
+    mesa_offload_traced(kernel, system, fallback_cores, &mut NullTracer)
+}
+
+/// [`mesa_offload`] with an observer: the controller's phase spans land in
+/// `tracer`, bracketed by a harness-level `harness.mesa_offload` span, and
+/// a `harness.fallback` instant marks rejected episodes.
+#[must_use]
+pub fn mesa_offload_traced(
+    kernel: &Kernel,
+    system: &SystemConfig,
+    fallback_cores: usize,
+    tracer: &mut dyn Tracer,
+) -> MesaRun {
     let mut mem = MemorySystem::new(system.mem, 2);
     kernel.populate(mem.data_mut());
     let mut state = kernel.entry.clone();
-    match run_offload(&kernel.program, &mut state, &mut mem, system) {
+    tracer.span_begin(Subsystem::Harness, "harness.mesa_offload", 0);
+    let run = match run_offload_traced(&kernel.program, &mut state, &mut mem, system, tracer) {
         Ok(report) => {
             let cycles = report.total_cycles();
-            MesaRun { report: Some(report), cycles, mem: mem_activity(&mem) }
+            let total = mem_activity(&mem);
+            let cpu_mem = traffic_activity(&report.cpu_phase_traffic);
+            let accel_mem = activity_minus(&total, &cpu_mem);
+            MesaRun { report: Some(report), cycles, mem: total, cpu_mem, accel_mem }
         }
         Err(
             MesaError::Rejected(_) | MesaError::NoLoopDetected | MesaError::LoopExitedDuringConfig,
         ) => {
             let fb = cpu_multicore(kernel, fallback_cores);
-            MesaRun { report: None, cycles: fb.cycles, mem: fb.mem }
+            tracer.instant(
+                Subsystem::Harness,
+                "harness.fallback",
+                &format!("{}: offload declined, ran on {fallback_cores}-core host", kernel.name),
+                0,
+            );
+            MesaRun {
+                report: None,
+                cycles: fb.cycles,
+                mem: fb.mem,
+                cpu_mem: fb.mem,
+                accel_mem: MemActivity::default(),
+            }
         }
         Err(e) => panic!("{}: unexpected offload failure: {e}", kernel.name),
-    }
+    };
+    tracer.span_end(Subsystem::Harness, "harness.mesa_offload", run.cycles);
+    run
 }
 
 /// Extracts the hot-loop region of a kernel as an [`Ldfg`] (for the
@@ -163,6 +220,45 @@ mod tests {
             if k.name == "btree" {
                 assert!(r.report.is_none(), "btree must fall back");
             }
+        }
+    }
+
+    #[test]
+    fn mesa_run_separates_warmup_from_accel_traffic() {
+        // Stat hygiene: the CPU-phase snapshot (warmup monitoring +
+        // overlapped configuration) must not be double-counted in the
+        // accelerator's share, and the two shares must tile the total.
+        let k = by_name("nn", KernelSize::Tiny).unwrap();
+        let r = mesa_offload(&k, &SystemConfig::m128(), 4);
+        assert!(r.report.is_some(), "nn must accelerate");
+        assert!(r.cpu_mem.l1_accesses > 0, "warmup touched memory");
+        assert!(r.accel_mem.l1_accesses > 0, "accelerator touched memory");
+        assert!(r.accel_mem.l1_accesses < r.mem.l1_accesses);
+        assert_eq!(r.cpu_mem.l1_accesses + r.accel_mem.l1_accesses, r.mem.l1_accesses);
+        assert_eq!(r.cpu_mem.l2_accesses + r.accel_mem.l2_accesses, r.mem.l2_accesses);
+        assert_eq!(
+            r.cpu_mem.dram_accesses + r.accel_mem.dram_accesses,
+            r.mem.dram_accesses
+        );
+
+        // Fallback path: everything is CPU traffic.
+        let bt = by_name("btree", KernelSize::Tiny).unwrap();
+        let fb = mesa_offload(&bt, &SystemConfig::m128(), 4);
+        assert!(fb.report.is_none());
+        assert_eq!(fb.cpu_mem, fb.mem);
+        assert_eq!(fb.accel_mem, MemActivity::default());
+    }
+
+    #[test]
+    fn traced_harness_run_brackets_controller_spans() {
+        let k = by_name("nn", KernelSize::Tiny).unwrap();
+        let mut tracer = mesa_trace::RingTracer::new(4096);
+        let r = mesa_offload_traced(&k, &SystemConfig::m128(), 4, &mut tracer);
+        assert!(r.report.is_some());
+        assert!(tracer.open_spans().is_empty(), "all spans closed");
+        let summary = mesa_trace::validate_chrome_trace(&tracer.to_chrome_trace()).unwrap();
+        for name in ["harness.mesa_offload", "detect", "configure", "offload"] {
+            assert!(summary.span_names.iter().any(|n| n == name), "missing span {name}");
         }
     }
 

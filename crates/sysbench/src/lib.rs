@@ -16,5 +16,6 @@ pub use figures::{
     Fig11Row, Fig12Row, Fig13Report, Fig14Row, Fig15Row, Table2Row, BASELINE_CORES,
 };
 pub use harness::{
-    cpu_multicore, cpu_single, geomean, mesa_offload, region_ldfg, BaselineRun, MesaRun,
+    cpu_multicore, cpu_single, geomean, mesa_offload, mesa_offload_traced, region_ldfg,
+    BaselineRun, MesaRun,
 };

@@ -1,0 +1,469 @@
+//! Exporters: JSON-lines event log, Chrome trace-event format, and a
+//! plain-text timeline summary — plus a small hand-rolled JSON validator
+//! used by the CI smoke test (`tracecheck`).
+//!
+//! All serialization is hand-written (rule 2 in the crate docs: zero
+//! dependencies). The Chrome trace uses the documented trace-event fields:
+//! `ph` `"B"`/`"E"` for spans, `"i"` for instants, `"C"` for counters and
+//! `"M"` for process/thread-name metadata; `ts` is the simulated cycle
+//! (so Perfetto's "microseconds" are really cycles), `pid` is always 0 and
+//! `tid` is the [`Subsystem`] id — one visual track per subsystem.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::tracer::{EventKind, RingTracer, Subsystem};
+
+/// Escapes `s` as a JSON string literal, including the quotes.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl RingTracer {
+    /// One JSON object per line, oldest event first. Stable field order,
+    /// so two identical runs produce byte-identical output.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            let _ = write!(
+                out,
+                "{{\"cycle\":{},\"subsystem\":{}",
+                e.cycle,
+                json_string(e.subsystem.name())
+            );
+            match &e.kind {
+                EventKind::Begin { name } => {
+                    let _ = write!(out, ",\"type\":\"begin\",\"name\":{}", json_string(name));
+                }
+                EventKind::End { name } => {
+                    let _ = write!(out, ",\"type\":\"end\",\"name\":{}", json_string(name));
+                }
+                EventKind::Instant { name, detail } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"instant\",\"name\":{},\"detail\":{}",
+                        json_string(name),
+                        json_string(detail)
+                    );
+                }
+                EventKind::Counter { name, value } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"counter\",\"name\":{},\"value\":{}",
+                        json_string(name),
+                        value
+                    );
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// A complete Chrome trace-event document (`{"traceEvents":[...]}`),
+    /// loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&ev);
+        };
+        push(
+            &mut out,
+            &mut first,
+            "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"mesa-sim\"}}"
+                .to_string(),
+        );
+        for sub in Subsystem::ALL {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                    sub.tid(),
+                    json_string(sub.name())
+                ),
+            );
+        }
+        for e in self.events() {
+            let head = format!("\"pid\":0,\"tid\":{},\"ts\":{}", e.subsystem.tid(), e.cycle);
+            let ev = match &e.kind {
+                EventKind::Begin { name } => {
+                    format!("{{\"ph\":\"B\",{head},\"name\":{}}}", json_string(name))
+                }
+                EventKind::End { name } => {
+                    format!("{{\"ph\":\"E\",{head},\"name\":{}}}", json_string(name))
+                }
+                EventKind::Instant { name, detail } => format!(
+                    "{{\"ph\":\"i\",{head},\"s\":\"t\",\"name\":{},\"args\":{{\"detail\":{}}}}}",
+                    json_string(name),
+                    json_string(detail)
+                ),
+                EventKind::Counter { name, value } => format!(
+                    "{{\"ph\":\"C\",{head},\"name\":{},\"args\":{{\"value\":{value}}}}}",
+                    json_string(name)
+                ),
+            };
+            push(&mut out, &mut first, ev);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ns\"}");
+        out
+    }
+
+    /// Plain-text aggregate: per `(subsystem, span)` the invocation count
+    /// and total simulated cycles, then instants and dropped-event info.
+    #[must_use]
+    pub fn timeline_summary(&self) -> String {
+        // (subsystem, name) -> (count, total cycles)
+        let mut spans: BTreeMap<(&'static str, String), (u64, u64)> = BTreeMap::new();
+        let mut instants: Vec<String> = Vec::new();
+        // Per-subsystem stack of (name, begin cycle).
+        let mut open: Vec<(Subsystem, String, u64)> = Vec::new();
+        for e in self.events() {
+            match &e.kind {
+                EventKind::Begin { name } => open.push((e.subsystem, name.clone(), e.cycle)),
+                EventKind::End { name } => {
+                    if let Some(i) = open
+                        .iter()
+                        .rposition(|(s, n, _)| *s == e.subsystem && n == name)
+                    {
+                        let (_, n, begun) = open.remove(i);
+                        let slot = spans.entry((e.subsystem.name(), n)).or_insert((0, 0));
+                        slot.0 += 1;
+                        slot.1 += e.cycle.saturating_sub(begun);
+                    }
+                }
+                EventKind::Instant { name, detail } => {
+                    instants.push(format!(
+                        "  @{:>10}  [{}] {}: {}",
+                        e.cycle,
+                        e.subsystem.name(),
+                        name,
+                        detail
+                    ));
+                }
+                EventKind::Counter { .. } => {}
+            }
+        }
+        let mut out = String::from("timeline summary (ts = simulated cycles)\n");
+        let width = spans
+            .keys()
+            .map(|(sub, name)| sub.len() + name.len() + 1)
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let _ = writeln!(out, "  {:width$}  {:>8}  {:>12}", "span", "count", "cycles");
+        for ((sub, name), (count, cycles)) in &spans {
+            let label = format!("{sub}/{name}");
+            let _ = writeln!(out, "  {label:width$}  {count:>8}  {cycles:>12}");
+        }
+        if !instants.is_empty() {
+            out.push_str("instants:\n");
+            for line in &instants {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        if self.dropped() > 0 {
+            let _ = writeln!(out, "({} oldest events dropped by the ring buffer)", self.dropped());
+        }
+        out
+    }
+}
+
+/// What [`validate_chrome_trace`] learned about a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total entries in `traceEvents` (including metadata).
+    pub events: usize,
+    /// `ph:"B"` span-begin events.
+    pub begins: usize,
+    /// `ph:"E"` span-end events.
+    pub ends: usize,
+    /// `ph:"i"` instant events.
+    pub instants: usize,
+    /// `ph:"C"` counter events.
+    pub counters: usize,
+    /// Distinct span names seen on begin events.
+    pub span_names: Vec<String>,
+}
+
+/// Validates that `text` is well-formed JSON. Whole-document syntax check
+/// only (no schema); used by `tracecheck` and the metrics exporter tests.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Validates a Chrome trace-event document: well-formed JSON, a non-empty
+/// `traceEvents` array, and balanced begin/end counts. Returns per-phase
+/// counts and the set of span names so callers (the CI smoke test) can
+/// assert required phases are present.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
+    validate_json(text)?;
+    if !text.contains("\"traceEvents\"") {
+        return Err("missing traceEvents key".to_string());
+    }
+    let mut summary = ChromeTraceSummary::default();
+    // The document is machine-generated with a fixed field order, so a
+    // per-object scan is reliable: split on "{\"ph\":" boundaries.
+    for chunk in text.split("{\"ph\":\"").skip(1) {
+        summary.events += 1;
+        let Some(ph) = chunk.chars().next() else { continue };
+        match ph {
+            'B' => {
+                summary.begins += 1;
+                if let Some(name) = extract_name(chunk) {
+                    if !summary.span_names.iter().any(|n| n == &name) {
+                        summary.span_names.push(name);
+                    }
+                }
+            }
+            'E' => summary.ends += 1,
+            'i' => summary.instants += 1,
+            'C' => summary.counters += 1,
+            _ => {}
+        }
+    }
+    if summary.events == 0 {
+        return Err("traceEvents is empty".to_string());
+    }
+    if summary.begins != summary.ends {
+        return Err(format!(
+            "unbalanced spans: {} begins vs {} ends",
+            summary.begins, summary.ends
+        ));
+    }
+    if summary.begins == 0 {
+        return Err("trace contains no spans".to_string());
+    }
+    Ok(summary)
+}
+
+fn extract_name(chunk: &str) -> Option<String> {
+    let idx = chunk.find("\"name\":\"")?;
+    let rest = &chunk[idx + 8..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(bytes, pos);
+                parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                parse_value(bytes, pos)?;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                parse_value(bytes, pos)?;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => expect_literal(bytes, pos, "true"),
+        Some(b'f') => expect_literal(bytes, pos, "false"),
+        Some(b'n') => expect_literal(bytes, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            *pos += 1;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            Ok(())
+        }
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&c) = bytes.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(()),
+            b'\\' => {
+                // Any single escaped byte is fine for a syntax check;
+                // \uXXXX consumes the four hex digits too.
+                if bytes.get(*pos) == Some(&b'u') {
+                    *pos += 5;
+                } else {
+                    *pos += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", want as char, pos = *pos))
+    }
+}
+
+fn expect_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    fn sample() -> RingTracer {
+        let mut t = RingTracer::new(256);
+        t.span_begin(Subsystem::Controller, "detect", 0);
+        t.instant(Subsystem::Controller, "hot_loop", "pc=[0x1000,0x1010)", 950);
+        t.span_end(Subsystem::Controller, "detect", 1000);
+        t.span_begin(Subsystem::Controller, "configure", 1000);
+        t.span_begin(Subsystem::Controller, "map", 1100);
+        t.span_end(Subsystem::Controller, "map", 1400);
+        t.span_end(Subsystem::Controller, "configure", 1500);
+        t.counter(Subsystem::Memory, "mem.dram_accesses", 42, 1500);
+        t
+    }
+
+    #[test]
+    fn json_lines_one_object_per_event() {
+        let t = sample();
+        let jsonl = t.to_json_lines();
+        assert_eq!(jsonl.lines().count(), t.len());
+        for line in jsonl.lines() {
+            validate_json(line).expect("each line parses");
+        }
+        assert!(jsonl.contains("\"detail\":\"pc=[0x1000,0x1010)\""));
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_counts() {
+        let t = sample();
+        let chrome = t.to_chrome_trace();
+        let s = validate_chrome_trace(&chrome).expect("valid");
+        assert_eq!(s.begins, 3);
+        assert_eq!(s.ends, 3);
+        assert_eq!(s.instants, 1);
+        assert_eq!(s.counters, 1);
+        assert!(s.span_names.iter().any(|n| n == "detect"));
+        assert!(s.span_names.iter().any(|n| n == "map"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_details() {
+        let mut t = RingTracer::new(64);
+        t.span_begin(Subsystem::Harness, "run", 0);
+        t.instant(Subsystem::Harness, "note", "quote \" backslash \\ newline \n tab \t", 1);
+        t.span_end(Subsystem::Harness, "run", 2);
+        validate_chrome_trace(&t.to_chrome_trace()).expect("escaped trace still parses");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_and_unbalanced() {
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("{\"a\":1} extra").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        let mut t = RingTracer::new(64);
+        t.span_begin(Subsystem::Cpu, "orphan", 0);
+        assert!(validate_chrome_trace(&t.to_chrome_trace()).is_err());
+    }
+
+    #[test]
+    fn timeline_summary_aggregates_spans() {
+        let t = sample();
+        let text = t.timeline_summary();
+        assert!(text.contains("controller/detect"), "{text}");
+        assert!(text.contains("controller/map"), "{text}");
+        assert!(text.contains("hot_loop"), "{text}");
+        // detect span total is 1000 cycles.
+        assert!(text.contains("1000"), "{text}");
+    }
+
+    #[test]
+    fn determinism_same_events_same_bytes() {
+        let a = sample().to_chrome_trace();
+        let b = sample().to_chrome_trace();
+        assert_eq!(a, b);
+        assert_eq!(sample().to_json_lines(), sample().to_json_lines());
+    }
+}

@@ -1,0 +1,207 @@
+//! A registry of named monotonic counters and gauges with a snapshot/diff
+//! API, used to attribute simulated work to phases.
+//!
+//! Counters are monotonic `u64`s (cache accesses, retired instructions,
+//! DRAM traffic); gauges are `f64` last-value samples (measured
+//! cycles-per-iteration, miss rates). `BTreeMap` storage keeps rendering
+//! and JSON export deterministically ordered, which the byte-identical
+//! trace tests rely on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Named monotonic counters and last-value gauges.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], used to diff phases.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values at snapshot time (or counter deltas, for a diff).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values at snapshot time (latest value wins in a diff).
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the monotonic counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if set.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Number of distinct counters and gauges registered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len()
+    }
+
+    /// Whether nothing has been registered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// A point-in-time copy of every counter and gauge.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot { counters: self.counters.clone(), gauges: self.gauges.clone() }
+    }
+
+    /// The change since `earlier`: counter deltas (saturating, so a reset
+    /// in between reads as zero rather than wrapping) and the latest gauge
+    /// values.
+    #[must_use]
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges: self.gauges.clone() }
+    }
+
+    /// Plain-text table of every counter and gauge, sorted by name.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+
+    /// JSON object `{"counters": {...}, "gauges": {...}}`, sorted by name.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Plain-text table of every counter and gauge, sorted by name.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k:width$}  {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k:width$}  {v:.3}");
+        }
+        out
+    }
+
+    /// JSON object `{"counters": {...}, "gauges": {...}}`, sorted by name.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", crate::export::json_string(k), v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Gauges may be NaN/inf from degenerate runs; JSON has no
+            // literal for those, so clamp to null.
+            if v.is_finite() {
+                let _ = write!(out, "{}:{}", crate::export::json_string(k), v);
+            } else {
+                let _ = write!(out, "{}:null", crate::export::json_string(k));
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut m = MetricsRegistry::new();
+        m.add("mem.dram_accesses", 3);
+        m.add("mem.dram_accesses", 4);
+        m.gauge("accel.cycles_per_iter", 2.5);
+        assert_eq!(m.counter("mem.dram_accesses"), 7);
+        assert_eq!(m.counter("never"), 0);
+        assert_eq!(m.gauge_value("accel.cycles_per_iter"), Some(2.5));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn diff_isolates_a_phase() {
+        let mut m = MetricsRegistry::new();
+        m.add("l1.accesses", 100);
+        let warmup = m.snapshot();
+        m.add("l1.accesses", 40);
+        m.add("dram.accesses", 5);
+        let d = m.diff(&warmup);
+        assert_eq!(d.counters["l1.accesses"], 40);
+        assert_eq!(d.counters["dram.accesses"], 5);
+    }
+
+    #[test]
+    fn render_and_json_are_sorted_and_wellformed() {
+        let mut m = MetricsRegistry::new();
+        m.add("zeta", 1);
+        m.add("alpha", 2);
+        m.gauge("mid", 0.5);
+        let text = m.render();
+        let a = text.find("alpha").unwrap();
+        let z = text.find("zeta").unwrap();
+        assert!(a < z);
+        let json = m.to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"alpha\":2"));
+        assert!(json.contains("\"mid\":0.5"));
+        crate::export::validate_json(&json).expect("metrics JSON parses");
+    }
+
+    #[test]
+    fn non_finite_gauges_export_as_null() {
+        let mut m = MetricsRegistry::new();
+        m.gauge("bad", f64::NAN);
+        let json = m.to_json();
+        assert!(json.contains("\"bad\":null"));
+        crate::export::validate_json(&json).expect("parses");
+    }
+}

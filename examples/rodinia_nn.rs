@@ -6,11 +6,16 @@
 //! accelerator, and we compare cycles and energy.
 //!
 //! Run with: `cargo run --example rodinia_nn`
+//!
+//! Set `MESA_TRACE=<path>` to also write a Chrome trace-event file of the
+//! offload episode (phases on simulated-cycle timestamps; open it in
+//! Perfetto or `chrome://tracing`).
 
-use mesa::core::{run_offload, SystemConfig};
+use mesa::core::{run_offload_traced, SystemConfig};
 use mesa::cpu::{CoreConfig, NullMonitor, OoOCore, RunLimits};
 use mesa::mem::{MemConfig, MemorySystem};
 use mesa::power::{accel_energy, config_energy, cpu_energy, EnergyParams, MemActivity};
+use mesa::trace::RingTracer;
 use mesa::workloads::{by_name, KernelSize};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,7 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = MemorySystem::new(MemConfig::default(), 2);
     kernel.populate(mem.data_mut());
     let mut state = kernel.entry.clone();
-    let report = run_offload(&kernel.program, &mut state, &mut mem, &SystemConfig::m128())?;
+    let trace_path = std::env::var("MESA_TRACE").ok().filter(|p| !p.is_empty());
+    let mut tracer = RingTracer::new(1 << 16);
+    let report =
+        run_offload_traced(&kernel.program, &mut state, &mut mem, &SystemConfig::m128(), &mut tracer)?;
+    if let Some(path) = &trace_path {
+        std::fs::write(path, tracer.to_chrome_trace())?;
+        println!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)\n");
+    }
     let accel_mem = MemActivity {
         l1_accesses: mem.l1_stats(1).accesses(),
         l2_accesses: mem.l2_stats().accesses(),
@@ -65,7 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .add(&cpu_energy(
             report.warmup_instrs,
             report.warmup_cycles + report.config_phase_cpu_cycles,
-            &MemActivity::default(),
+            // The controller samples memory totals just before handing off
+            // to the fabric, so warmup traffic is charged to the CPU.
+            &MemActivity {
+                l1_accesses: report.cpu_phase_traffic.l1_accesses,
+                l2_accesses: report.cpu_phase_traffic.l2_accesses,
+                dram_accesses: report.cpu_phase_traffic.dram_accesses,
+            },
             &p,
         ));
     println!("CPU energy:  {:.1} µJ", e_cpu.total_nj() / 1000.0);

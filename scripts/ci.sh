@@ -7,3 +7,20 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Trace smoke test: capture a tiny nn offload episode and validate the
+# Chrome trace-event export (well-formed JSON, balanced spans, all
+# controller phases present).
+trace_tmp="$(mktemp -t mesa_trace.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$trace_tmp.jsonl"' EXIT
+cargo run --release --offline -q -p mesa-bench --bin figures -- trace tiny --trace "$trace_tmp"
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- chrome "$trace_tmp"
+
+# Bench gate: the NullTracer fast path through the traced engine entry
+# point must stay within noise of the untraced path.
+cargo bench --offline -p mesa-bench --bench components
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
+  BENCH_components.json \
+  tracer/null_engine_nn_on_m128 \
+  engine/nn_512_iterations_on_m128 \
+  1.30

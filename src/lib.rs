@@ -24,6 +24,8 @@
 //!   1-D feedforward mapper used for the paper's comparisons.
 //! * [`workloads`] — Rodinia-style kernels written in the assembler DSL.
 //! * [`power`] — area/power/energy model seeded with the paper's Table 1.
+//! * [`trace`] — cycle-timestamped tracing, a metrics registry, and
+//!   Chrome-trace / JSON-lines / timeline exporters for every layer above.
 //!
 //! ## Quickstart
 //!
@@ -50,17 +52,19 @@ pub use mesa_cpu as cpu;
 pub use mesa_isa as isa;
 pub use mesa_mem as mem;
 pub use mesa_power as power;
+pub use mesa_trace as trace;
 pub use mesa_workloads as workloads;
 
 /// Commonly used types, re-exported for one-line imports.
 pub mod prelude {
     pub use mesa_accel::{AccelConfig, AccelProgram, SpatialAccelerator};
     pub use mesa_core::{
-        run_offload, MesaController, MesaError, OffloadReport, SystemConfig,
+        run_offload, run_offload_traced, MesaController, MesaError, OffloadReport, SystemConfig,
     };
     pub use mesa_cpu::{CoreConfig, Multicore, OoOCore, RunLimits};
     pub use mesa_isa::{ArchState, Asm, Instruction, Program, Reg, Xlen};
     pub use mesa_mem::{MemConfig, MemorySystem};
     pub use mesa_power::{EnergyParams, MemActivity};
+    pub use mesa_trace::{MetricsRegistry, NullTracer, RingTracer, Tracer};
     pub use mesa_workloads::{Kernel, KernelSize};
 }

@@ -1,0 +1,87 @@
+//! Trace determinism and span-balance invariants.
+//!
+//! Traces are pure functions of the simulated execution: the tracer
+//! timestamps events with *simulated* cycles (never wall clock) and the
+//! metrics registry iterates in a fixed order, so the same kernel under
+//! the same seed must export byte-identical artifacts. The property test
+//! additionally checks that the ring tracer keeps span begin/end events
+//! balanced under arbitrary interleavings.
+
+use mesa::core::SystemConfig;
+use mesa::trace::{RingTracer, Subsystem, Tracer};
+use mesa::workloads::{by_name, KernelSize};
+use mesa_bench::mesa_offload_traced;
+use mesa_test::{forall, prop_assert, prop_assert_eq, Checker, Rng};
+
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/trace_determinism.proptest-regressions");
+
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(48).regressions_file(REGRESSIONS)
+}
+
+fn traced_nn_run() -> RingTracer {
+    let kernel = by_name("nn", KernelSize::Tiny).expect("nn");
+    let mut tracer = RingTracer::new(1 << 16);
+    let run = mesa_offload_traced(&kernel, &SystemConfig::m128(), 4, &mut tracer);
+    assert!(run.report.is_some(), "nn must accelerate");
+    tracer
+}
+
+#[test]
+fn same_run_exports_byte_identical_traces() {
+    let a = traced_nn_run();
+    let b = traced_nn_run();
+    assert_eq!(a.to_json_lines(), b.to_json_lines());
+    assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+    assert_eq!(a.timeline_summary(), b.timeline_summary());
+    assert_eq!(a.dropped(), b.dropped());
+}
+
+#[test]
+fn cycle_timestamps_are_monotone_per_subsystem_span_stack() {
+    let tracer = traced_nn_run();
+    // Every End must carry a cycle >= its matching Begin; the RingTracer
+    // keeps the open-span stack, so an empty stack at the end plus
+    // validate_chrome_trace's begin/end count check covers matching.
+    assert!(tracer.open_spans().is_empty());
+    let summary = mesa::trace::validate_chrome_trace(&tracer.to_chrome_trace()).unwrap();
+    assert_eq!(summary.begins, summary.ends);
+    assert!(summary.begins > 0);
+}
+
+/// Arbitrary interleavings of span opens/closes (as a simulation layer
+/// would produce them) leave the tracer balanced once every open span is
+/// closed, and the exported Chrome trace stays well-formed.
+#[test]
+fn random_span_interleavings_stay_balanced() {
+    const NAMES: [&str; 5] = ["detect", "translate", "map", "configure", "offload"];
+    forall!(checker("trace::span_balance"), |(seed in 0u64..1_000_000, ops in 4usize..64)| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut tracer = RingTracer::new(4096);
+        let mut cycle = 0u64;
+        let mut depth = 0usize;
+        for _ in 0..ops {
+            cycle += rng.gen_range(0..20u64);
+            if depth > 0 && rng.gen_bool(0.4) {
+                let (sub, name) = tracer.open_spans().last().cloned().unwrap();
+                tracer.span_end(sub, &name, cycle);
+                depth -= 1;
+            } else {
+                let subsystem = Subsystem::ALL[rng.gen_range(0..Subsystem::ALL.len())];
+                let name = NAMES[rng.gen_range(0..NAMES.len())];
+                tracer.span_begin(subsystem, name, cycle);
+                depth += 1;
+            }
+        }
+        // Close everything still open, innermost first.
+        while let Some((sub, name)) = tracer.open_spans().last().cloned() {
+            cycle += 1;
+            tracer.span_end(sub, &name, cycle);
+        }
+        prop_assert!(tracer.open_spans().is_empty());
+        let summary = mesa::trace::validate_chrome_trace(&tracer.to_chrome_trace())
+            .expect("well-formed chrome trace");
+        prop_assert_eq!(summary.begins, summary.ends);
+    });
+}
