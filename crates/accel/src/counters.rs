@@ -32,6 +32,14 @@ impl NodeCounter {
     pub fn avg_in(&self, slot: usize) -> Option<u64> {
         (self.in_samples[slot] > 0).then(|| self.total_in_cycles[slot] / self.in_samples[slot])
     }
+
+    /// Total cycles this node kept its PE or input links busy: operation
+    /// latency plus both operand transfer latencies. This is the ranking
+    /// key the profiler uses to name hot nodes.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.total_op_cycles + self.total_in_cycles[0] + self.total_in_cycles[1]
+    }
 }
 
 /// The full counter bank for one configured region.
@@ -48,16 +56,52 @@ impl PerfCounters {
         PerfCounters { nodes: vec![NodeCounter::default(); n] }
     }
 
+    /// Total fires across every node in the bank.
+    #[must_use]
+    pub fn total_fires(&self) -> u64 {
+        self.nodes.iter().map(|n| n.fires).sum()
+    }
+
+    /// Total operation cycles across every node in the bank.
+    #[must_use]
+    pub fn total_op_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.total_op_cycles).sum()
+    }
+
+    /// The `k` hottest nodes by [`NodeCounter::stall_cycles`], hottest
+    /// first; nodes that never accumulated cycles are skipped. Ties break
+    /// toward the lower node index so the ranking is deterministic.
+    #[must_use]
+    pub fn hottest_nodes(&self, k: usize) -> Vec<(usize, &NodeCounter)> {
+        let mut ranked: Vec<(usize, &NodeCounter)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.stall_cycles() > 0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.stall_cycles().cmp(&a.1.stall_cycles()).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
     /// Registers the aggregate feedback-channel totals — fires and summed
     /// op cycles across all nodes — as `<prefix>.fires` /
-    /// `<prefix>.op_cycles`.
+    /// `<prefix>.op_cycles`, plus the top-`k` nodes by stall cycles as
+    /// `<prefix>.hot<rank>.{node,stall_cycles,fires}` so the registry can
+    /// rank hot nodes without a full trace.
     pub fn record_metrics(&self, reg: &mut mesa_trace::MetricsRegistry, prefix: &str) {
-        let fires: u64 = self.nodes.iter().map(|n| n.fires).sum();
-        let op_cycles: u64 = self.nodes.iter().map(|n| n.total_op_cycles).sum();
-        reg.add(&format!("{prefix}.fires"), fires);
-        reg.add(&format!("{prefix}.op_cycles"), op_cycles);
+        reg.add(&format!("{prefix}.fires"), self.total_fires());
+        reg.add(&format!("{prefix}.op_cycles"), self.total_op_cycles());
+        for (rank, (idx, ctr)) in self.hottest_nodes(HOT_NODE_EXPORTS).into_iter().enumerate() {
+            reg.add(&format!("{prefix}.hot{rank}.node"), idx as u64);
+            reg.add(&format!("{prefix}.hot{rank}.stall_cycles"), ctr.stall_cycles());
+            reg.add(&format!("{prefix}.hot{rank}.fires"), ctr.fires);
+        }
     }
 }
+
+/// How many hot nodes [`PerfCounters::record_metrics`] exports.
+pub const HOT_NODE_EXPORTS: usize = 4;
 
 /// Aggregate activity, consumed by the energy model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -150,5 +194,34 @@ mod tests {
     fn mem_ops_sum() {
         let a = ActivityStats { loads: 3, stores: 2, ..Default::default() };
         assert_eq!(a.mem_ops(), 5);
+    }
+
+    #[test]
+    fn hot_nodes_rank_by_stall_cycles_with_index_tiebreak() {
+        let mut p = PerfCounters::new(4);
+        p.nodes[0] = NodeCounter { fires: 2, total_op_cycles: 10, ..Default::default() };
+        p.nodes[1] = NodeCounter {
+            fires: 2,
+            total_op_cycles: 5,
+            total_in_cycles: [3, 2],
+            in_samples: [2, 2],
+        };
+        // Node 2 ties node 1 on stall cycles: the lower index wins.
+        p.nodes[2] = NodeCounter { fires: 1, total_op_cycles: 10, ..Default::default() };
+        let hot = p.hottest_nodes(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, 0);
+        assert_eq!(hot[1].0, 1);
+        assert_eq!(hot[1].1.stall_cycles(), 10);
+
+        let mut reg = mesa_trace::MetricsRegistry::new();
+        p.record_metrics(&mut reg, "fb");
+        assert_eq!(reg.counter("fb.fires"), 5);
+        assert_eq!(reg.counter("fb.hot0.node"), 0);
+        assert_eq!(reg.counter("fb.hot0.stall_cycles"), 10);
+        assert_eq!(reg.counter("fb.hot1.node"), 1);
+        // Idle node 3 never appears.
+        assert_eq!(reg.counter("fb.hot3.node"), 0);
+        assert!(reg.snapshot().counters.keys().all(|k| !k.starts_with("fb.hot3")));
     }
 }

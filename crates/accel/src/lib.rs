@@ -25,7 +25,7 @@ pub mod program;
 
 pub use bitstream::{decode as decode_bitstream, encode as encode_bitstream, BitstreamError};
 pub use config::{AccelConfig, FpPattern};
-pub use counters::{ActivityStats, NodeCounter, PerfCounters};
+pub use counters::{ActivityStats, NodeCounter, PerfCounters, HOT_NODE_EXPORTS};
 pub use engine::{AccelRunResult, SpatialAccelerator};
 pub use grid::{Coord, GridDim, HalfRingModel, HierarchicalRowModel, LatencyModel, MeshModel};
 pub use program::{AccelProgram, NodeConfig, Operand, ProgramError};

@@ -12,15 +12,15 @@
 use crate::{
     apply_counters, build_accel_program, check_region, config_latency, map_instructions,
     memopt, reconfig_latency, reoptimize, trace_map_stages, ConfigCache, ConfigLatency,
-    DetectConfig, DetectedRegion, ImapTiming, MapperConfig, OptFlags, RejectReason,
+    DetectConfig, DetectedRegion, ImapTiming, MapperConfig, OptFlags, RejectReason, ReoptRound,
 };
 use mesa_accel::{
     AccelConfig, AccelProgram, ActivityStats, Coord, PerfCounters, ProgramError,
     SpatialAccelerator,
 };
 use mesa_cpu::{
-    CoreConfig, LoopStreamDetector, OoOCore, RetireEvent, RetireMonitor, RunLimits, StopReason,
-    TraceCache,
+    CoreConfig, LoopStreamDetector, OoOCore, PipelineStats, RetireEvent, RetireMonitor,
+    RunLimits, StopReason, TraceCache,
 };
 use mesa_isa::{ArchState, OpClass, Program, Reg};
 use mesa_mem::{AmatTable, MemConfig, MemTraffic, MemorySystem};
@@ -173,6 +173,17 @@ pub struct OffloadReport {
     /// Harnesses diff the post-episode totals against this to attribute
     /// traffic to the accelerated phase without double-counting warmup.
     pub cpu_phase_traffic: MemTraffic,
+    /// Pipeline counters accumulated over every CPU-side run of the
+    /// episode (warmup monitoring, loop-entry alignment, configuration
+    /// overlap). `cpu_pipeline.cycles` is the episode's total CPU-phase
+    /// cycle count, which top-down accounting attributes into buckets.
+    pub cpu_pipeline: PipelineStats,
+    /// Final placement: the coordinate each region node ended on (`None` =
+    /// fallback bus), indexed like `counters.nodes`. Spatial profilers
+    /// fold the counters onto this grid.
+    pub placement: Vec<Option<Coord>>,
+    /// One record per F3 re-optimization round, in order.
+    pub reopt_rounds: Vec<ReoptRound>,
     /// Accelerator activity (for the energy model).
     pub activity: ActivityStats,
     /// Final performance counters.
@@ -219,8 +230,10 @@ impl OffloadReport {
         reg.add("offload.tiles", self.tiles as u64);
         reg.add("offload.unmapped_nodes", self.unmapped_nodes as u64);
         reg.add("offload.from_cache", u64::from(self.from_cache));
+        reg.add("offload.reopt_rounds", self.reopt_rounds.len() as u64);
         reg.gauge("offload.cycles_per_iteration", self.cycles_per_iteration());
         self.cpu_phase_traffic.record_metrics(reg, "offload.cpu_phase");
+        self.cpu_pipeline.record_metrics(reg, "offload.cpu_pipeline");
         self.activity.record_metrics(reg, "offload.activity");
         self.counters.record_metrics(reg, "offload.feedback");
     }
@@ -388,11 +401,13 @@ impl MesaController {
         };
         let mut warmup_cycles = 0u64;
         let mut warmup_instrs = 0u64;
+        let mut cpu_pipeline = PipelineStats::default();
         let hot = loop {
             if warmup_instrs >= self.system.max_warmup_instrs {
                 break None;
             }
             let r = cpu.run(program, state, mem, CPU, RunLimits::instrs(32), &mut monitor);
+            cpu_pipeline.absorb(&r);
             warmup_cycles += r.cycles;
             warmup_instrs += r.retired;
             if let Some(hot) = monitor.lsd.hot_loop() {
@@ -419,6 +434,7 @@ impl MesaController {
                         },
                         &mut monitor,
                     );
+                    cpu_pipeline.absorb(&r);
                     warmup_cycles += r.cycles;
                     warmup_instrs += r.retired;
                     match r.stop {
@@ -628,6 +644,8 @@ impl MesaController {
                 RunLimits { max_instrs: 0, stop_pc: Some(hot.start_pc) },
                 &mut monitor,
             );
+            cpu_pipeline.absorb(&r1);
+            cpu_pipeline.absorb(&r2);
             config_phase_cpu_cycles += r1.cycles + r2.cycles;
             cpu_iterations_during_config += 1;
             if r2.stop != StopReason::StopPc {
@@ -666,6 +684,7 @@ impl MesaController {
         let mut accel_iterations = 0u64;
         let mut reconfig_cycles = 0u64;
         let mut reconfigurations = 0u32;
+        let mut reopt_rounds: Vec<ReoptRound> = Vec::new();
         let mut current = accel_prog;
         let induction = ldfg.induction_nodes();
 
@@ -720,7 +739,9 @@ impl MesaController {
 
             // ---- F3: iterative optimization ----
             tracer.span_begin(Subsystem::Controller, "reoptimize", now);
+            let critical_path_before = ldfg.critical_path().1;
             apply_counters(&mut ldfg, &r.counters);
+            let critical_path_after = ldfg.critical_path().1;
             let measured = (r.cycles / r.iterations.max(1)).max(1);
             if tracer.enabled() {
                 tracer.counter(
@@ -737,6 +758,18 @@ impl MesaController {
                 &self.system.mapper,
                 measured,
             );
+            let mut round = ReoptRound {
+                round: reopt_rounds.len() as u32,
+                iterations_before: accel_iterations,
+                measured_cycles_per_iter: measured,
+                new_estimate: out.new_estimate,
+                critical_path_before,
+                critical_path_after,
+                placement_moves: 0,
+                reconfigured: false,
+                tiles_after: current.tiles,
+                reconfig_cycles: 0,
+            };
             if out.worthwhile {
                 let plan = memopt::analyze(&ldfg);
                 let next = build_accel_program(
@@ -766,6 +799,15 @@ impl MesaController {
                             now,
                         );
                     }
+                    round.placement_moves = current
+                        .nodes
+                        .iter()
+                        .zip(&next.nodes)
+                        .filter(|(a, b)| a.coord != b.coord)
+                        .count();
+                    round.reconfigured = true;
+                    round.tiles_after = next.tiles;
+                    round.reconfig_cycles = extra;
                     current = next;
                     self.cache.insert(current.clone());
                 }
@@ -775,6 +817,7 @@ impl MesaController {
                 // segments and run the remainder uninterrupted.
                 keep_optimizing = false;
             }
+            reopt_rounds.push(round);
             tracer.span_end(Subsystem::Controller, "reoptimize", now);
         }
         tracer.span_end(Subsystem::Controller, "offload", now);
@@ -803,6 +846,9 @@ impl MesaController {
             initial_estimate,
             from_cache,
             cpu_phase_traffic,
+            cpu_pipeline,
+            placement: current.nodes.iter().map(|n| n.coord).collect(),
+            reopt_rounds,
             activity,
             counters,
         })

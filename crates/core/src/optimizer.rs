@@ -25,6 +25,45 @@ pub fn apply_counters(ldfg: &mut Ldfg, counters: &PerfCounters) {
     }
 }
 
+/// Record of one F3 re-optimization round, kept by the controller so
+/// profilers can reconstruct the convergence story (Fig. 13-style): what
+/// the counters measured, what the remapped model predicted, how far the
+/// measured critical path moved, and whether/how the placement changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReoptRound {
+    /// Round number, starting at 0.
+    pub round: u32,
+    /// Accelerator iterations completed before this round ran.
+    pub iterations_before: u64,
+    /// Measured cycles per iteration of the configuration being replaced.
+    pub measured_cycles_per_iter: u64,
+    /// Model estimate of the remapped configuration's iteration latency.
+    pub new_estimate: u64,
+    /// LDFG critical-path latency under the weights in force *before* this
+    /// round folded the new counter readings in.
+    pub critical_path_before: u64,
+    /// Critical-path latency after folding the measured latencies.
+    pub critical_path_after: u64,
+    /// Nodes whose placement coordinate changed (0 when the round declined
+    /// to reconfigure).
+    pub placement_moves: usize,
+    /// Whether the round actually paid for a reconfiguration.
+    pub reconfigured: bool,
+    /// Tiles in force after the round.
+    pub tiles_after: usize,
+    /// Reconfiguration cycles charged by this round.
+    pub reconfig_cycles: u64,
+}
+
+impl ReoptRound {
+    /// Signed critical-path movement of this round's counter fold:
+    /// positive = the measured weights lengthened the modeled path.
+    #[must_use]
+    pub fn critical_path_delta(&self) -> i64 {
+        self.critical_path_after as i64 - self.critical_path_before as i64
+    }
+}
+
 /// Outcome of a re-optimization attempt.
 #[derive(Debug, Clone)]
 pub struct ReoptOutcome {

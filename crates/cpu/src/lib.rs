@@ -46,6 +46,7 @@ pub use config::CoreConfig;
 pub use frontend::{LoopCandidate, LoopStreamDetector, RegionTooLarge, TraceCache};
 pub use multicore::{Multicore, MulticoreResult};
 pub use ooo::{
-    NullMonitor, OoOCore, RetireEvent, RetireMonitor, RunLimits, RunResult, StopReason,
+    NullMonitor, OoOCore, PipelineStats, RetireEvent, RetireMonitor, RunLimits, RunResult,
+    StopReason,
 };
 pub use predictor::BranchPredictor;

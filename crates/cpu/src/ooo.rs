@@ -99,6 +99,70 @@ impl RunResult {
     }
 }
 
+/// Accumulated pipeline counters across any number of [`RunResult`]s.
+///
+/// The controller chops CPU execution into many short [`OoOCore::run`]
+/// calls (monitoring quanta, loop-entry alignment, configuration overlap);
+/// this folds their per-chunk counters into one CPU-phase total that the
+/// profiler's top-down cycle accounting can attribute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Total cycles across all absorbed runs.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Cycles instructions spent waiting between operand readiness and
+    /// issue, summed over all retired instructions.
+    pub issue_wait_cycles: u64,
+    /// Fetch redirects taken.
+    pub fetch_redirects: u64,
+}
+
+impl PipelineStats {
+    /// Folds one run's counters into the accumulated totals.
+    pub fn absorb(&mut self, r: &RunResult) {
+        self.cycles += r.cycles;
+        self.retired += r.retired;
+        self.loads += r.loads;
+        self.stores += r.stores;
+        self.branches += r.branches;
+        self.mispredicts += r.mispredicts;
+        self.issue_wait_cycles += r.issue_wait_cycles;
+        self.fetch_redirects += r.fetch_redirects;
+    }
+
+    /// Retired instructions per cycle over the accumulated window.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Registers the accumulated counters as `<prefix>.cycles`,
+    /// `<prefix>.retired`, etc.
+    pub fn record_metrics(&self, reg: &mut mesa_trace::MetricsRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.cycles"), self.cycles);
+        reg.add(&format!("{prefix}.retired"), self.retired);
+        reg.add(&format!("{prefix}.loads"), self.loads);
+        reg.add(&format!("{prefix}.stores"), self.stores);
+        reg.add(&format!("{prefix}.branches"), self.branches);
+        reg.add(&format!("{prefix}.mispredicts"), self.mispredicts);
+        reg.add(&format!("{prefix}.issue_wait_cycles"), self.issue_wait_cycles);
+        reg.add(&format!("{prefix}.fetch_redirects"), self.fetch_redirects);
+    }
+}
+
 /// A committed-instruction event delivered to observers (MESA's monitor
 /// hardware hangs off this, paper §4.1).
 #[derive(Debug, Clone, Copy)]
@@ -568,6 +632,27 @@ mod tests {
         assert_eq!(reg.counter("cpu.retired"), r.retired);
         assert_eq!(reg.counter("cpu.issue_wait_cycles"), r.issue_wait_cycles);
         assert_eq!(reg.counter("cpu.fetch_redirects"), r.fetch_redirects);
+    }
+
+    #[test]
+    fn pipeline_stats_absorb_sums_chunked_runs() {
+        let (r, _) = run_program(|a| {
+            a.li(A0, 0x10000);
+            for i in 0..8 {
+                a.lw(T0, A0, i * 4);
+            }
+        });
+        let mut acc = PipelineStats::default();
+        acc.absorb(&r);
+        acc.absorb(&r);
+        assert_eq!(acc.cycles, 2 * r.cycles);
+        assert_eq!(acc.retired, 2 * r.retired);
+        assert_eq!(acc.loads, 2 * r.loads);
+        assert_eq!(acc.issue_wait_cycles, 2 * r.issue_wait_cycles);
+        assert!((acc.ipc() - r.ipc()).abs() < 1e-12);
+        let mut reg = mesa_trace::MetricsRegistry::new();
+        acc.record_metrics(&mut reg, "phase");
+        assert_eq!(reg.counter("phase.cycles"), acc.cycles);
     }
 
     #[test]

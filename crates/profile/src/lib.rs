@@ -1,0 +1,43 @@
+//! # mesa-profile — bottleneck attribution for the MESA reproduction
+//!
+//! MESA's premise is that hardware latency counters "at PEs and
+//! load-store entries" are reported back and "used to refine MESA's DFG
+//! model" (§5.2). This crate is the analysis layer on top of that
+//! feedback channel: it consumes the counters the simulator already
+//! plumbs and answers *why is this kernel slow, and what did
+//! re-optimization actually change?*
+//!
+//! Three attributions, one report:
+//!
+//! * [`TopDown`] — top-down cycle accounting for the OoO core: every
+//!   CPU-phase cycle classified into retiring / frontend-bound /
+//!   backend-core-bound / memory-bound, with an exact conservation
+//!   invariant (buckets always sum to total cycles).
+//! * [`SpatialProfile`] — per-PE spatial attribution: the feedback
+//!   counter bank folded onto the accelerator grid as fires, operation
+//!   cycles and routing occupancy, rendered as an ASCII heatmap and a
+//!   JSON matrix. The fold is exact: grid + bus totals equal the counter
+//!   bank's totals, and the fire total equals the engine's
+//!   `ActivityStats` operation total.
+//! * [`CriticalPathReport`] + [`mesa_core::ReoptRound`] — the
+//!   latency-weighted critical path recomputed from measured
+//!   `NodeCounter` averages, and the controller's per-round
+//!   re-optimization deltas (placement moves, II before/after,
+//!   critical-path shrinkage) as a Fig. 13-style convergence report.
+//!
+//! [`ProfileReport`] bundles all three plus per-phase cycle and traffic
+//! snapshots into one deterministic JSON document and a human text
+//! summary. The `profile` binary in `mesa-bench` (and `--profile <path>`
+//! on `figures`/`inspect`) writes it to disk.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod critpath;
+pub mod heatmap;
+pub mod report;
+pub mod topdown;
+
+pub use critpath::{render_round, round_to_json, CriticalPathReport};
+pub use heatmap::{PeCell, SpatialProfile};
+pub use report::{PhaseCycles, ProfileReport};
+pub use topdown::TopDown;

@@ -1,0 +1,134 @@
+//! Property tests for the profiler's two conservation invariants:
+//!
+//! * Top-down buckets tile the measured cycles exactly, for arbitrary
+//!   pipeline/traffic counter values — the apportionment never loses or
+//!   invents a cycle.
+//! * The spatial heatmap is an exact fold of the feedback counter bank:
+//!   across randomized kernels and grid sizes, grid + bus totals equal
+//!   the counter totals and the fire total equals the engine's
+//!   `ActivityStats` operation total.
+
+use mesa_accel::{AccelConfig, Coord, SpatialAccelerator};
+use mesa_core::{
+    analyze_memopts, build_accel_program, map_instructions, Ldfg, MapperConfig, OptFlags,
+};
+use mesa_cpu::{CoreConfig, PipelineStats};
+use mesa_isa::OpClass;
+use mesa_mem::{MemConfig, MemTraffic, MemorySystem};
+use mesa_profile::{SpatialProfile, TopDown};
+use mesa_test::{forall, prop_assert, prop_assert_eq, Checker, Rng};
+use mesa_workloads::{all, Kernel, KernelSize};
+
+/// Persisted counterexample seeds, replayed before novel cases.
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/profile_proptest.proptest-regressions");
+
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(48).regressions_file(REGRESSIONS)
+}
+
+/// The hot-loop region of a kernel as an LDFG (mirrors the harness's
+/// `region_ldfg`; duplicated here because depending on `mesa-bench` from
+/// this crate's tests would be a dependency cycle).
+fn region_ldfg(kernel: &Kernel) -> Option<Ldfg> {
+    let (start, end) = kernel.loop_region();
+    let base_idx = ((start - kernel.program.base_pc) / 4) as usize;
+    let len = ((end - start) / 4) as usize;
+    let region = mesa_isa::Program {
+        base_pc: start,
+        instrs: kernel.program.instrs[base_idx..base_idx + len].to_vec(),
+        annotations: kernel.program.annotations.clone(),
+    };
+    Ldfg::build(&region).ok()
+}
+
+#[test]
+fn topdown_buckets_always_sum_to_total() {
+    forall!(checker("profile::topdown_conservation"), |(seed in 0u64..1_000_000)| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let cycles: u64 = rng.gen_range(0u64..1 << 40);
+        let pipe = PipelineStats {
+            cycles,
+            retired: rng.gen_range(0u64..1 << 42),
+            loads: rng.gen_range(0u64..1 << 30),
+            stores: rng.gen_range(0u64..1 << 30),
+            branches: rng.gen_range(0u64..1 << 30),
+            mispredicts: rng.gen_range(0u64..1 << 20),
+            issue_wait_cycles: rng.gen_range(0u64..1 << 40),
+            fetch_redirects: rng.gen_range(0u64..1 << 20),
+        };
+        let traffic = MemTraffic {
+            l1_accesses: rng.gen_range(0u64..1 << 40),
+            l1_misses: rng.gen_range(0u64..1 << 36),
+            l2_accesses: rng.gen_range(0u64..1 << 36),
+            l2_misses: rng.gen_range(0u64..1 << 32),
+            dram_accesses: rng.gen_range(0u64..1 << 32),
+        };
+        let td = TopDown::attribute(&pipe, &traffic, &CoreConfig::default(), &MemConfig::default());
+        prop_assert!(td.sums_to_total(), "buckets {:?} vs total {}", td.buckets(), td.total_cycles);
+        prop_assert_eq!(td.total_cycles, cycles);
+        for (name, v) in td.buckets() {
+            prop_assert!(v <= cycles, "bucket {name} = {v} exceeds total {cycles}");
+        }
+    });
+}
+
+#[test]
+fn heatmap_totals_match_engine_activity_across_kernels_and_grids() {
+    let kernels: Vec<Kernel> = all(KernelSize::Tiny)
+        .into_iter()
+        .filter(|k| region_ldfg(k).is_some())
+        .collect();
+    assert!(kernels.len() >= 4, "suite shrank unexpectedly");
+    const PES: [usize; 5] = [16, 32, 64, 128, 256];
+
+    // Each case executes a full kernel on the cycle-level engine, so this
+    // property runs fewer cases than the cheap arithmetic ones.
+    let heavy = checker("profile::heatmap_exact_fold").cases(12);
+    forall!(heavy, |(seed in 0u64..1_000_000)| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let kernel = &kernels[rng.gen_range(0usize..kernels.len())];
+        let accel_cfg = AccelConfig::with_pes(PES[rng.gen_range(0usize..PES.len())]);
+        let ldfg = region_ldfg(kernel).expect("pre-filtered");
+
+        let accel = SpatialAccelerator::new(accel_cfg);
+        let supports = |c: Coord, class: OpClass| accel_cfg.supports(c, class);
+        let sdfg = map_instructions(
+            &ldfg,
+            accel_cfg.grid(),
+            &supports,
+            accel.latency_model(),
+            &MapperConfig::default(),
+        );
+        let plan = analyze_memopts(&ldfg);
+        let prog = build_accel_program(
+            &ldfg,
+            &sdfg,
+            Some(&plan),
+            kernel.annotation,
+            &accel_cfg,
+            &OptFlags::default(),
+            kernel.iterations,
+        );
+
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        kernel.populate(mem.data_mut());
+        let r = accel.execute(&prog, &kernel.entry, &mut mem, 1, 10_000_000).expect("runs");
+
+        let placement: Vec<Option<Coord>> = prog.nodes.iter().map(|n| n.coord).collect();
+        let heat = SpatialProfile::new(accel_cfg.grid(), &placement, &r.counters);
+
+        // Exact fold of the counter bank (grid cells + bus, no loss).
+        prop_assert_eq!(heat.total_fires(), r.counters.total_fires());
+        prop_assert_eq!(heat.total_op_cycles(), r.counters.total_op_cycles());
+        // Fires equal the engine's operation total.
+        prop_assert!(
+            heat.matches_activity(&r.activity),
+            "{}: heatmap fires {} vs activity {:?}",
+            kernel.name,
+            heat.total_fires(),
+            r.activity
+        );
+        prop_assert!(heat.total_fires() > 0, "{}: nothing fired", kernel.name);
+    });
+}

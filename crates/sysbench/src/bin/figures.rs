@@ -11,6 +11,12 @@
 //! the raw event log at `<path>.jsonl`, and a timeline summary plus the
 //! metrics registry on stdout. With no positional argument, `--trace`
 //! captures only the trace (it does not regenerate the figures).
+//!
+//! Passing `--profile <path>` (or `MESA_PROFILE=<path>`) runs one full
+//! `nn` offload episode through the profiler and writes the unified
+//! bottleneck-attribution report (top-down cycle accounting, per-PE
+//! heatmap, measured critical path, re-optimization rounds) as JSON to
+//! `<path>`, printing the human summary on stdout.
 
 use mesa_bench as bench;
 use mesa_core::SystemConfig;
@@ -19,6 +25,7 @@ use mesa_workloads::{by_name, KernelSize};
 
 fn main() {
     let mut trace_path = std::env::var("MESA_TRACE").ok().filter(|p| !p.is_empty());
+    let mut profile_path = std::env::var("MESA_PROFILE").ok().filter(|p| !p.is_empty());
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -26,11 +33,15 @@ fn main() {
             trace_path = args.next();
         } else if let Some(p) = a.strip_prefix("--trace=") {
             trace_path = Some(p.to_string());
+        } else if a == "--profile" {
+            profile_path = args.next();
+        } else if let Some(p) = a.strip_prefix("--profile=") {
+            profile_path = Some(p.to_string());
         } else {
             rest.push(a);
         }
     }
-    let default_what = if trace_path.is_some() { "trace" } else { "all" };
+    let default_what = if trace_path.is_some() || profile_path.is_some() { "capture" } else { "all" };
     let what = rest.first().map_or(default_what, String::as_str);
     let size = match rest.get(1).map(String::as_str) {
         Some("tiny") => KernelSize::Tiny,
@@ -40,10 +51,13 @@ fn main() {
 
     let run = |name: &str| what == "all" || what == name;
 
-    // `trace` only runs when asked for by name or by path — `all` does
-    // not silently write trace files.
+    // `trace`/`profile` only run when asked for by name or by path —
+    // `all` does not silently write capture files.
     if what == "trace" || trace_path.is_some() {
         capture_trace(trace_path.as_deref().unwrap_or("mesa_trace.json"), size);
+    }
+    if what == "profile" || profile_path.is_some() {
+        capture_profile(profile_path.as_deref().unwrap_or("mesa_profile.json"), size);
     }
     if run("table1") {
         print_table1();
@@ -102,6 +116,16 @@ fn capture_trace(path: &str, size: KernelSize) {
     );
 }
 
+fn capture_profile(path: &str, size: KernelSize) {
+    let kernel = by_name("nn", size).expect("nn is registered");
+    let (_, profile) =
+        bench::mesa_profile(&kernel, &SystemConfig::m128(), bench::BASELINE_CORES);
+    std::fs::write(path, profile.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("== Profile: one nn offload episode on M-128 ==");
+    println!("{}", profile.render());
+    println!("wrote profile report to {path}\n");
+}
+
 fn print_crossover(size: KernelSize) {
     let (rows, [mesa_wins, dora_wins]) = bench::crossover(size);
     println!("== Extra: config-time vs optimization trade-off (nn, total cycles) ==");
@@ -135,20 +159,31 @@ fn print_table1() {
 fn print_fig11(size: KernelSize) {
     println!("== Fig. 11: performance & energy efficiency vs 16-core baseline ==");
     println!(
-        "{:<14} {:>9} {:>9} {:>11} {:>11}",
-        "benchmark", "perf M128", "perf M512", "energy M128", "energy M512"
+        "{:<14} {:>9} {:>9} {:>11} {:>11} {:>7}",
+        "benchmark", "perf M128", "perf M512", "energy M128", "energy M512", "reject"
     );
     let (rows, means) = bench::fig11(size);
     for r in &rows {
         println!(
-            "{:<14} {:>8.2}x {:>8.2}x {:>10.2}x {:>10.2}x",
-            r.name, r.speedup_m128, r.speedup_m512, r.energy_m128, r.energy_m512
+            "{:<14} {:>8.2}x {:>8.2}x {:>10.2}x {:>10.2}x {:>7}",
+            r.name,
+            r.speedup_m128,
+            r.speedup_m512,
+            r.energy_m128,
+            r.energy_m512,
+            bench::reject_tag(r.reject.as_deref()),
         );
     }
     println!(
-        "{:<14} {:>8.2}x {:>8.2}x {:>10.2}x {:>10.2}x   (paper: 1.33x / 1.81x / 1.86x / 1.92x)\n",
+        "{:<14} {:>8.2}x {:>8.2}x {:>10.2}x {:>10.2}x   (paper: 1.33x / 1.81x / 1.86x / 1.92x)",
         "MEAN", means[0], means[1], means[2], means[3]
     );
+    let declined: Vec<&bench::Fig11Row> = rows.iter().filter(|r| r.reject.is_some()).collect();
+    println!("offloaded {}/{} kernels on M-128; declined:", rows.len() - declined.len(), rows.len());
+    for r in &declined {
+        println!("  {:<14} {}", r.name, r.reject.as_deref().unwrap_or(""));
+    }
+    println!();
 }
 
 fn print_fig12(size: KernelSize) {

@@ -5,11 +5,13 @@
 //! rejection reason printed instead of a silent fallthrough.
 //!
 //! Usage: `cargo run --release -p mesa-bench --bin inspect -- <kernel>
-//! [tiny|small|large] [--trace <path>]`
+//! [tiny|small|large] [--trace <path>] [--profile <path>]`
 //!
 //! `--trace <path>` (or `MESA_TRACE=<path>`) additionally writes a Chrome
 //! trace-event file of the controller episode to `<path>` and the raw
-//! event log to `<path>.jsonl`.
+//! event log to `<path>.jsonl`. `--profile <path>` (or
+//! `MESA_PROFILE=<path>`) writes the unified bottleneck-attribution
+//! report of the episode as JSON to `<path>` and prints its summary.
 
 use mesa_accel::{AccelConfig, Coord, SpatialAccelerator};
 use mesa_bench::region_ldfg;
@@ -19,11 +21,13 @@ use mesa_core::{
 };
 use mesa_isa::OpClass;
 use mesa_mem::{MemConfig, MemorySystem};
+use mesa_profile::ProfileReport;
 use mesa_trace::{EventKind, RingTracer};
 use mesa_workloads::{by_name, KernelSize};
 
 fn main() {
     let mut trace_path = std::env::var("MESA_TRACE").ok().filter(|p| !p.is_empty());
+    let mut profile_path = std::env::var("MESA_PROFILE").ok().filter(|p| !p.is_empty());
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -31,6 +35,10 @@ fn main() {
             trace_path = args.next();
         } else if let Some(p) = a.strip_prefix("--trace=") {
             trace_path = Some(p.to_string());
+        } else if a == "--profile" {
+            profile_path = args.next();
+        } else if let Some(p) = a.strip_prefix("--profile=") {
+            profile_path = Some(p.to_string());
         } else {
             rest.push(a);
         }
@@ -51,7 +59,9 @@ fn main() {
     let mut sys_mem = MemorySystem::new(system.mem, 2);
     kernel.populate(sys_mem.data_mut());
     let mut sys_state = kernel.entry.clone();
-    match run_offload_traced(&kernel.program, &mut sys_state, &mut sys_mem, &system, &mut tracer) {
+    let outcome =
+        run_offload_traced(&kernel.program, &mut sys_state, &mut sys_mem, &system, &mut tracer);
+    match &outcome {
         Ok(report) => println!(
             "{}: offloaded — warmup {} + config {} (cpu overlapped {}) + accel {} cycles, \
              {} iterations on the fabric ({:.2} cyc/iter), {} reconfiguration(s)",
@@ -76,6 +86,22 @@ fn main() {
             println!("  (execution stays on the host CPU; the dump below maps the region by hand)");
         }
         Err(e) => println!("{}: offload did not complete — {e}", kernel.name),
+    }
+    if let Some(path) = &profile_path {
+        let profile = match &outcome {
+            Ok(report) => ProfileReport::from_offload(
+                kernel.name,
+                report,
+                &system,
+                region_ldfg(&kernel).as_ref(),
+                Some(&sys_mem.traffic()),
+            ),
+            Err(e) => ProfileReport::declined(kernel.name, &system, &e.to_string()),
+        };
+        std::fs::write(path, profile.to_json())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\n{}", profile.render());
+        println!("wrote profile report to {path}");
     }
     if let Some(path) = &trace_path {
         let jsonl_path = format!("{path}.jsonl");

@@ -13,8 +13,14 @@
 //!   bench and asserts `median_ns(name_a) <= median_ns(name_b) *
 //!   max_ratio`. Used to gate the `NullTracer` overhead against the
 //!   untraced engine path.
+//! * `tracecheck profile <report.json>` — parses `<path>` as the unified
+//!   profile report the `profile` binary writes (full JSON syntax check),
+//!   requires the top-down buckets to sum exactly to the total CPU-phase
+//!   cycles, and, for an accepted offload (`"reject": null`), requires a
+//!   non-empty heatmap (`fires_total > 0`). Used by `scripts/ci.sh` as
+//!   the profile smoke test.
 
-use mesa_trace::validate_chrome_trace;
+use mesa_trace::{validate_chrome_trace, validate_json};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -22,9 +28,11 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("chrome") => check_chrome(args.get(1).map_or("", String::as_str)),
         Some("benchgate") => check_benchgate(&args[1..]),
+        Some("profile") => check_profile(args.get(1).map_or("", String::as_str)),
         _ => Err(
             "usage: tracecheck chrome <trace.json>\n\
-             \x20      tracecheck benchgate <bench.json> <name_a> <name_b> <max_ratio>"
+             \x20      tracecheck benchgate <bench.json> <name_a> <name_b> <max_ratio>\n\
+             \x20      tracecheck profile <report.json>"
                 .to_string(),
         ),
     };
@@ -87,6 +95,47 @@ fn check_benchgate(args: &[String]) -> Result<String, String> {
     }
 }
 
+fn check_profile(path: &str) -> Result<String, String> {
+    if path.is_empty() {
+        return Err("profile: missing <report.json> path".into());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    validate_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let compact: String = text.split_whitespace().collect();
+
+    // Conservation: the four top-down buckets tile the CPU-phase cycles.
+    // `total_cycles` appears only inside the report's `topdown` object.
+    let field = |key: &str| -> Result<u64, String> {
+        field_u64(&compact, key).ok_or_else(|| format!("{path}: no field {key:?}"))
+    };
+    let total = field("total_cycles")?;
+    let buckets = ["retiring", "frontend_bound", "backend_core_bound", "memory_bound"];
+    let sum: u64 = buckets.iter().map(|k| field(k)).sum::<Result<u64, _>>()?;
+    if sum != total {
+        return Err(format!(
+            "{path}: top-down buckets sum to {sum}, expected total_cycles = {total}"
+        ));
+    }
+
+    // An accepted offload must leave a non-empty heatmap behind.
+    let accepted = compact.contains("\"reject\":null");
+    if accepted && field("fires_total")? == 0 {
+        return Err(format!("{path}: accepted offload but the heatmap recorded zero fires"));
+    }
+    Ok(format!(
+        "{path}: well-formed profile report, buckets sum to {total} cycles, {}",
+        if accepted { "offload accepted" } else { "offload declined" }
+    ))
+}
+
+/// Extracts the first `"key": <u64>` occurrence from compacted JSON.
+fn field_u64(compact: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let (_, rest) = compact.split_once(&needle)?;
+    let num: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    num.parse().ok()
+}
+
 /// Extracts `median_ns` for the named benchmark from the JSON-lines report
 /// the in-repo `mesa-test` BenchSuite writes (one object per line with
 /// `"name"` and `"median_ns"` fields).
@@ -110,6 +159,14 @@ fn median_ns(text: &str, name: &str) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn field_extraction_takes_first_occurrence() {
+        let compact = "{\"total_cycles\":690,\"retiring\":49,\"nested\":{\"retiring\":1}}";
+        assert_eq!(field_u64(compact, "total_cycles"), Some(690));
+        assert_eq!(field_u64(compact, "retiring"), Some(49));
+        assert_eq!(field_u64(compact, "missing"), None);
+    }
 
     #[test]
     fn median_extraction_handles_spacing() {

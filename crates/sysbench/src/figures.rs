@@ -62,6 +62,22 @@ pub struct Fig11Row {
     pub energy_m128: f64,
     /// Energy-efficiency gain of M-512.
     pub energy_m512: f64,
+    /// Why the M-128 offload was declined, when it was (the `Display` of
+    /// the controller's error; C1–C3 rejections keep their prefix).
+    pub reject: Option<String>,
+}
+
+/// Short tag for a decline reason: `C1`/`C2`/`C3` for the paper's reject
+/// conditions, `decl` for the other decline paths, `-` for accepted.
+#[must_use]
+pub fn reject_tag(reject: Option<&str>) -> &'static str {
+    match reject {
+        None => "-",
+        Some(r) if r.contains("C1") => "C1",
+        Some(r) if r.contains("C2") => "C2",
+        Some(r) if r.contains("C3") => "C3",
+        Some(_) => "decl",
+    }
 }
 
 /// Fig. 11: performance and energy efficiency vs the 16-core baseline
@@ -74,7 +90,7 @@ pub fn fig11(size: KernelSize) -> (Vec<Fig11Row>, [f64; 4]) {
     for kernel in all(size) {
         let base = cpu_multicore(&kernel, BASELINE_CORES);
         let base_e = baseline_energy(&base, &p).total_pj();
-        let per_cfg = |system: &SystemConfig| -> (f64, f64) {
+        let per_cfg = |system: &SystemConfig| -> (f64, f64, Option<String>) {
             let run = mesa_offload(&kernel, system, BASELINE_CORES);
             let speedup = base.cycles as f64 / run.cycles as f64;
             let energy = if run.report.is_some() {
@@ -82,16 +98,17 @@ pub fn fig11(size: KernelSize) -> (Vec<Fig11Row>, [f64; 4]) {
             } else {
                 1.0 // fell back to the same multicore
             };
-            (speedup, energy)
+            (speedup, energy, run.declined.map(|e| e.to_string()))
         };
-        let (s128, e128) = per_cfg(&SystemConfig::m128());
-        let (s512, e512) = per_cfg(&SystemConfig::m512());
+        let (s128, e128, reject) = per_cfg(&SystemConfig::m128());
+        let (s512, e512, _) = per_cfg(&SystemConfig::m512());
         rows.push(Fig11Row {
             name: kernel.name,
             speedup_m128: s128,
             speedup_m512: s512,
             energy_m128: e128,
             energy_m512: e512,
+            reject,
         });
     }
     // The paper reports plain averages ("MESA achieves 1.33x and 1.81x
@@ -482,6 +499,15 @@ mod tests {
     // The figure functions are exercised end-to-end (with shape
     // assertions) in `tests/figures_shape.rs`; here we only cover the
     // cheap pieces so `cargo test -p mesa-bench` stays fast.
+
+    #[test]
+    fn reject_tags_cover_the_conditions() {
+        assert_eq!(reject_tag(None), "-");
+        assert_eq!(reject_tag(Some("loop rejected: C1: loop body too large")), "C1");
+        assert_eq!(reject_tag(Some("loop rejected: C2: unsupported instruction")), "C2");
+        assert_eq!(reject_tag(Some("loop rejected: C3: irregular control flow")), "C3");
+        assert_eq!(reject_tag(Some("no hot loop detected")), "decl");
+    }
 
     #[test]
     fn table1_has_the_headline_numbers() {

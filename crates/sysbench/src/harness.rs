@@ -6,6 +6,7 @@ use mesa_core::{run_offload_traced, Ldfg, MesaError, OffloadReport, SystemConfig
 use mesa_cpu::{CoreConfig, Multicore, NullMonitor, OoOCore, RunLimits};
 use mesa_mem::{MemConfig, MemTraffic, MemorySystem};
 use mesa_power::MemActivity;
+use mesa_profile::ProfileReport;
 use mesa_trace::{NullTracer, Subsystem, Tracer};
 use mesa_workloads::Kernel;
 
@@ -41,6 +42,9 @@ pub struct MesaRun {
     /// Activity attributable to accelerator execution (`mem` minus
     /// `cpu_mem`; zero on the fallback path).
     pub accel_mem: MemActivity,
+    /// Why the offload was declined, when it was (`Rejected` carries the
+    /// C1–C3 reason). `None` whenever `report` is `Some`.
+    pub declined: Option<MesaError>,
 }
 
 fn traffic_activity(t: &MemTraffic) -> MemActivity {
@@ -125,20 +129,75 @@ pub fn mesa_offload_traced(
     fallback_cores: usize,
     tracer: &mut dyn Tracer,
 ) -> MesaRun {
+    episode(kernel, system, fallback_cores, tracer, false).0
+}
+
+/// Runs the kernel under the MESA system and assembles the full
+/// bottleneck-attribution [`ProfileReport`] alongside the measurement:
+/// top-down CPU-phase accounting, the per-PE heatmap, the measured
+/// critical path, and the F3 re-optimization rounds. Declined episodes
+/// yield a minimal report carrying the decline reason.
+#[must_use]
+pub fn mesa_profile(
+    kernel: &Kernel,
+    system: &SystemConfig,
+    fallback_cores: usize,
+) -> (MesaRun, ProfileReport) {
+    mesa_profile_traced(kernel, system, fallback_cores, &mut NullTracer)
+}
+
+/// [`mesa_profile`] with an observer (see [`mesa_offload_traced`]).
+#[must_use]
+pub fn mesa_profile_traced(
+    kernel: &Kernel,
+    system: &SystemConfig,
+    fallback_cores: usize,
+    tracer: &mut dyn Tracer,
+) -> (MesaRun, ProfileReport) {
+    let (run, profile) = episode(kernel, system, fallback_cores, tracer, true);
+    (run, profile.expect("profile requested"))
+}
+
+/// One MESA episode with optional profile-report assembly. The interval
+/// snapshots the report needs (CPU-phase pipeline counters and traffic,
+/// episode-end traffic) are sampled here, where the memory system is
+/// still in scope.
+fn episode(
+    kernel: &Kernel,
+    system: &SystemConfig,
+    fallback_cores: usize,
+    tracer: &mut dyn Tracer,
+    want_profile: bool,
+) -> (MesaRun, Option<ProfileReport>) {
     let mut mem = MemorySystem::new(system.mem, 2);
     kernel.populate(mem.data_mut());
     let mut state = kernel.entry.clone();
     tracer.span_begin(Subsystem::Harness, "harness.mesa_offload", 0);
-    let run = match run_offload_traced(&kernel.program, &mut state, &mut mem, system, tracer) {
+    let (run, profile) = match run_offload_traced(&kernel.program, &mut state, &mut mem, system, tracer)
+    {
         Ok(report) => {
+            let profile = want_profile.then(|| {
+                ProfileReport::from_offload(
+                    kernel.name,
+                    &report,
+                    system,
+                    region_ldfg(kernel).as_ref(),
+                    Some(&mem.traffic()),
+                )
+            });
             let cycles = report.total_cycles();
             let total = mem_activity(&mem);
             let cpu_mem = traffic_activity(&report.cpu_phase_traffic);
             let accel_mem = activity_minus(&total, &cpu_mem);
-            MesaRun { report: Some(report), cycles, mem: total, cpu_mem, accel_mem }
+            (
+                MesaRun { report: Some(report), cycles, mem: total, cpu_mem, accel_mem, declined: None },
+                profile,
+            )
         }
         Err(
-            MesaError::Rejected(_) | MesaError::NoLoopDetected | MesaError::LoopExitedDuringConfig,
+            e @ (MesaError::Rejected(_)
+            | MesaError::NoLoopDetected
+            | MesaError::LoopExitedDuringConfig),
         ) => {
             let fb = cpu_multicore(kernel, fallback_cores);
             tracer.instant(
@@ -147,18 +206,24 @@ pub fn mesa_offload_traced(
                 &format!("{}: offload declined, ran on {fallback_cores}-core host", kernel.name),
                 0,
             );
-            MesaRun {
-                report: None,
-                cycles: fb.cycles,
-                mem: fb.mem,
-                cpu_mem: fb.mem,
-                accel_mem: MemActivity::default(),
-            }
+            let profile =
+                want_profile.then(|| ProfileReport::declined(kernel.name, system, &e.to_string()));
+            (
+                MesaRun {
+                    report: None,
+                    cycles: fb.cycles,
+                    mem: fb.mem,
+                    cpu_mem: fb.mem,
+                    accel_mem: MemActivity::default(),
+                    declined: Some(e),
+                },
+                profile,
+            )
         }
         Err(e) => panic!("{}: unexpected offload failure: {e}", kernel.name),
     };
     tracer.span_end(Subsystem::Harness, "harness.mesa_offload", run.cycles);
-    run
+    (run, profile)
 }
 
 /// Extracts the hot-loop region of a kernel as an [`Ldfg`] (for the

@@ -12,10 +12,11 @@ pub mod figures;
 pub mod harness;
 
 pub use figures::{
-    crossover, fig11, fig12, fig13, fig14, fig15, fig16, table1, table2, CrossoverRow,
-    Fig11Row, Fig12Row, Fig13Report, Fig14Row, Fig15Row, Table2Row, BASELINE_CORES,
+    crossover, fig11, fig12, fig13, fig14, fig15, fig16, reject_tag, table1, table2,
+    CrossoverRow, Fig11Row, Fig12Row, Fig13Report, Fig14Row, Fig15Row, Table2Row,
+    BASELINE_CORES,
 };
 pub use harness::{
-    cpu_multicore, cpu_single, geomean, mesa_offload, mesa_offload_traced, region_ldfg,
-    BaselineRun, MesaRun,
+    cpu_multicore, cpu_single, geomean, mesa_offload, mesa_offload_traced, mesa_profile,
+    mesa_profile_traced, region_ldfg, BaselineRun, MesaRun,
 };

@@ -70,6 +70,6 @@ pub mod export;
 pub mod metrics;
 pub mod tracer;
 
-pub use export::{validate_chrome_trace, ChromeTraceSummary};
+pub use export::{json_string, validate_chrome_trace, validate_json, ChromeTraceSummary};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use tracer::{Event, EventKind, NullTracer, RingTracer, Subsystem, Tracer};

@@ -12,9 +12,16 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # Chrome trace-event export (well-formed JSON, balanced spans, all
 # controller phases present).
 trace_tmp="$(mktemp -t mesa_trace.XXXXXX.json)"
-trap 'rm -f "$trace_tmp" "$trace_tmp.jsonl"' EXIT
+profile_tmp="$(mktemp -t mesa_profile.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$trace_tmp.jsonl" "$profile_tmp"' EXIT
 cargo run --release --offline -q -p mesa-bench --bin figures -- trace tiny --trace "$trace_tmp"
 cargo run --release --offline -q -p mesa-bench --bin tracecheck -- chrome "$trace_tmp"
+
+# Profile smoke test: run the bottleneck profiler on one kernel and
+# validate the unified report (well-formed JSON, top-down buckets sum
+# exactly to total cycles, non-empty heatmap for the accepted offload).
+cargo run --release --offline -q -p mesa-bench --bin profile -- nn tiny --out "$profile_tmp"
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- profile "$profile_tmp"
 
 # Bench gate: the NullTracer fast path through the traced engine entry
 # point must stay within noise of the untraced path.

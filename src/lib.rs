@@ -26,6 +26,9 @@
 //! * [`power`] — area/power/energy model seeded with the paper's Table 1.
 //! * [`trace`] — cycle-timestamped tracing, a metrics registry, and
 //!   Chrome-trace / JSON-lines / timeline exporters for every layer above.
+//! * [`profile`] — bottleneck attribution over the counters: top-down
+//!   cycle accounting, per-PE spatial heatmaps, measured critical paths
+//!   and re-optimization deltas, unified into one profile report.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use mesa_cpu as cpu;
 pub use mesa_isa as isa;
 pub use mesa_mem as mem;
 pub use mesa_power as power;
+pub use mesa_profile as profile;
 pub use mesa_trace as trace;
 pub use mesa_workloads as workloads;
 

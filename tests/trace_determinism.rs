@@ -50,6 +50,32 @@ fn cycle_timestamps_are_monotone_per_subsystem_span_stack() {
     assert!(summary.begins > 0);
 }
 
+/// Profile reports are pure functions of the simulated execution too: the
+/// same kernel at the same configuration must export byte-identical JSON
+/// and text renderings, and the report must carry the profiler's headline
+/// content — conserved top-down buckets, an exact heatmap fold, and the
+/// controller's re-optimization rounds with their critical-path deltas.
+#[test]
+fn same_run_exports_byte_identical_profile_reports() {
+    let profile = || {
+        let kernel = by_name("nn", KernelSize::Tiny).expect("nn");
+        let (run, profile) = mesa_bench::mesa_profile(&kernel, &SystemConfig::m128(), 4);
+        assert!(run.report.is_some(), "nn must accelerate");
+        profile
+    };
+    let a = profile();
+    let b = profile();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.render(), b.render());
+
+    assert!(a.topdown.sums_to_total());
+    assert!(a.spatial_matches_activity());
+    assert!(a.spatial.as_ref().is_some_and(|s| s.total_fires() > 0));
+    assert!(!a.rounds.is_empty(), "nn's iterative controller must record a round");
+    assert!(a.rounds.iter().any(|r| r.critical_path_delta() != 0));
+    mesa::trace::validate_json(&a.to_json()).expect("report JSON is well-formed");
+}
+
 /// Arbitrary interleavings of span opens/closes (as a simulation layer
 /// would produce them) leave the tracer balanced once every open span is
 /// closed, and the exported Chrome trace stays well-formed.
