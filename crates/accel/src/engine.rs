@@ -69,8 +69,6 @@ struct TileState {
     prev_value: Vec<u64>,
     /// Previous-iteration node completion times.
     prev_complete: Vec<u64>,
-    /// Row offset of this tile's placement.
-    row_offset: usize,
     /// Iterations this tile has executed.
     iters: u64,
     /// Completion time of the tile's last iteration.
@@ -79,6 +77,138 @@ struct TileState {
     running: bool,
     /// Completion time of the last store (in-order store commit).
     last_store_start: u64,
+}
+
+/// Per-iteration working buffers, allocated once per [`SpatialAccelerator::execute_traced`]
+/// call and reused across every `run_iteration` of every tile. The engine
+/// previously allocated four fresh `Vec`s plus two `ArchState`s per node
+/// fire per iteration; with hundreds of iterations per offload that
+/// dominated the run time. Buffers are reset with `fill`/`clear` at each
+/// iteration start, which preserves the exact semantics of fresh
+/// zero-initialized allocations.
+#[derive(Debug)]
+struct IterScratch {
+    cur_value: Vec<u64>,
+    cur_complete: Vec<u64>,
+    branch_taken: Vec<bool>,
+    /// (node index, address, width, data_complete) per store seen so far.
+    stores_seen: Vec<(usize, u64, u8, u64)>,
+    /// Scratch architectural state for PE value evaluation.
+    eval_state: ArchState,
+}
+
+impl IterScratch {
+    fn new(n: usize, xlen: Xlen) -> Self {
+        IterScratch {
+            cur_value: vec![0; n],
+            cur_complete: vec![0; n],
+            branch_taken: vec![false; n],
+            stores_seen: Vec::new(),
+            eval_state: ArchState::new(0, xlen),
+        }
+    }
+
+    /// Resets to the state a fresh iteration's buffers would have.
+    fn reset(&mut self) {
+        self.cur_value.fill(0);
+        self.cur_complete.fill(0);
+        self.branch_taken.fill(false);
+        self.stores_seen.clear();
+    }
+}
+
+/// Static route of one dataflow edge, resolved once per
+/// [`SpatialAccelerator::execute_traced`] call. Placements never change
+/// during a run, so which link a transfer uses — and its model latency —
+/// is a constant; only the contention (fabric booking) is dynamic.
+#[derive(Debug, Clone, Copy)]
+enum Route {
+    /// Producer and consumer share a PE: the value is already there.
+    Same,
+    /// Direct local link of the given latency (contention-free).
+    Local(u64),
+    /// Half-ring NoC: arbitrate the producer-row lane, then `lat` hops.
+    Noc { row: usize, lat: u64 },
+    /// Fallback bus (either endpoint unplaced) of the given latency.
+    Bus(u64),
+}
+
+/// Pre-resolved operand: flat register indices and a static [`Route`]
+/// instead of `Reg`/`Coord` lookups in the per-iteration loop.
+#[derive(Debug, Clone, Copy)]
+enum OpPlan {
+    None,
+    InitReg(usize),
+    Node { idx: usize, carried: bool, via: usize, route: Route },
+}
+
+/// Per-node execution plan: everything about a node that is invariant
+/// across iterations (tile-scaled instruction, opcode class, memory access
+/// shape, operand routes), computed once per tile per run so the
+/// per-iteration loop performs no coordinate math, latency-model dispatch,
+/// or opcode-property lookups.
+#[derive(Debug, Clone)]
+struct NodePlan {
+    effective: Instruction,
+    class: OpClass,
+    inputs: [OpPlan; 2],
+    hidden: OpPlan,
+    /// Load/store access width in bytes (0 for non-memory nodes).
+    mem_width: u8,
+    /// Whether a load sign-extends.
+    sign_extend: bool,
+    /// Compute latency of the operation.
+    base_latency: u64,
+}
+
+/// Resolves one pre-planned operand to `(value, ready_time_at_consumer,
+/// transfer_cycles)` — the last is what the per-edge latency counters
+/// record (paper §5.2).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn resolve_operand(
+    op: &OpPlan,
+    tile: &TileState,
+    cur_value: &[u64],
+    cur_complete: &[u64],
+    base: u64,
+    first_iter: bool,
+    fabric: &mut Fabric,
+    activity: &mut ActivityStats,
+) -> (u64, u64, u64) {
+    match *op {
+        OpPlan::None => (0, base, 0),
+        OpPlan::InitReg(flat) => (tile.entry_regs[flat], base, 0),
+        OpPlan::Node { idx, carried, via, route } => {
+            if carried && first_iter {
+                return (tile.entry_regs[via], base, 0);
+            }
+            let (value, produced) = if carried {
+                (tile.prev_value[idx], tile.prev_complete[idx])
+            } else {
+                (cur_value[idx], cur_complete[idx])
+            };
+            let arrival = match route {
+                Route::Same => produced,
+                Route::Local(lat) => {
+                    activity.local_transfers += 1;
+                    produced + lat
+                }
+                Route::Noc { row, lat } => {
+                    let start = fabric.book_lane(row, produced);
+                    activity.noc_transfers += 1;
+                    activity.noc_hop_cycles += lat;
+                    start + lat
+                }
+                Route::Bus(lat) => {
+                    let start = fabric.book_bus(produced);
+                    activity.fallback_transfers += 1;
+                    start + lat
+                }
+            };
+            (value, arrival.max(base), arrival - produced)
+        }
+    }
 }
 
 /// Shared fabric bandwidth accounting (memory ports, NoC lanes, fallback
@@ -230,7 +360,6 @@ impl SpatialAccelerator {
                     entry_regs: regs,
                     prev_value: vec![0; n],
                     prev_complete: vec![0; n],
-                    row_offset: t * rows_per_tile,
                     iters: 0,
                     last_complete: 0,
                     running: true,
@@ -241,6 +370,19 @@ impl SpatialAccelerator {
 
         let mut total_iters = 0u64;
         let mut last_iter_tile = 0usize; // tile that ran the globally-last iteration
+        let mut scratch = IterScratch::new(n, entry.xlen);
+
+        // Static per-tile node plans (coords, routes, tile-scaled
+        // instructions): resolved once here, reused every iteration.
+        let plans: Vec<Vec<NodePlan>> = (0..tiles)
+            .map(|t| {
+                let row_offset = t * rows_per_tile;
+                prog.nodes
+                    .iter()
+                    .map(|node| self.plan_node(prog, node, row_offset, tiles))
+                    .collect()
+            })
+            .collect();
 
         loop {
             // The iteration budget is checked at *round* boundaries only:
@@ -260,14 +402,14 @@ impl SpatialAccelerator {
                 self.run_iteration(
                     prog,
                     tile_state,
+                    &plans[t],
                     &mut fabric,
                     mem,
                     requester,
-                    tiles,
                     unlimited_ports,
-                    entry.xlen,
                     &mut counters,
                     &mut activity,
+                    &mut scratch,
                 );
                 total_iters += 1;
                 last_iter_tile = t;
@@ -307,6 +449,66 @@ impl SpatialAccelerator {
         })
     }
 
+    /// Builds one operand's static plan for a tile (flat register indices
+    /// and the route the transfer will take).
+    fn plan_operand(
+        &self,
+        prog: &AccelProgram,
+        op: &Operand,
+        consumer: Option<Coord>,
+        row_offset: usize,
+    ) -> OpPlan {
+        match *op {
+            Operand::None => OpPlan::None,
+            Operand::InitReg(r) => OpPlan::InitReg(r.flat_index()),
+            Operand::Node { idx, carried, via } => {
+                let producer = prog.nodes[idx as usize]
+                    .coord
+                    .map(|c| Coord::new(c.row + row_offset, c.col));
+                let route = match (producer, consumer) {
+                    (Some(a), Some(b)) => {
+                        if a == b {
+                            Route::Same
+                        } else if self.model.is_local(a, b) {
+                            Route::Local(self.model.transfer_latency(a, b))
+                        } else {
+                            Route::Noc { row: a.row, lat: self.model.transfer_latency(a, b) }
+                        }
+                    }
+                    _ => Route::Bus(self.cfg.fallback_bus_latency),
+                };
+                OpPlan::Node { idx: idx as usize, carried, via: via.flat_index(), route }
+            }
+        }
+    }
+
+    /// Builds one node's static plan for a tile.
+    fn plan_node(
+        &self,
+        prog: &AccelProgram,
+        node: &NodeConfig,
+        row_offset: usize,
+        tiles: usize,
+    ) -> NodePlan {
+        let consumer = node.coord.map(|c| Coord::new(c.row + row_offset, c.col));
+        let mut effective = node.instr;
+        if node.scale_imm_by_tiles && tiles > 1 {
+            effective.imm = node.instr.imm.wrapping_mul(tiles as i64);
+        }
+        NodePlan {
+            effective,
+            class: node.instr.class(),
+            inputs: [
+                self.plan_operand(prog, &node.inputs[0], consumer, row_offset),
+                self.plan_operand(prog, &node.inputs[1], consumer, row_offset),
+            ],
+            hidden: self.plan_operand(prog, &node.hidden, consumer, row_offset),
+            mem_width: effective.op.mem_width().unwrap_or(0),
+            sign_extend: effective.op.load_sign_extends(),
+            base_latency: effective.op.base_latency(),
+        }
+    }
+
     /// Runs one iteration of one tile. See the module docs for the timing
     /// rules.
     #[allow(clippy::too_many_arguments)]
@@ -314,37 +516,34 @@ impl SpatialAccelerator {
         &self,
         prog: &AccelProgram,
         tile: &mut TileState,
+        plans: &[NodePlan],
         fabric: &mut Fabric,
         mem: &mut MemorySystem,
         requester: usize,
-        tiles: usize,
         unlimited_ports: bool,
-        xlen: Xlen,
         counters: &mut PerfCounters,
         activity: &mut ActivityStats,
+        scratch: &mut IterScratch,
     ) {
-        let n = prog.nodes.len();
         let first_iter = tile.iters == 0;
         // Barrier semantics: without pipelining, iteration k+1 begins after
         // iteration k fully completes.
         let base = if prog.pipelined { 0 } else { tile.last_complete };
 
-        let mut cur_value = vec![0u64; n];
-        let mut cur_complete = vec![0u64; n];
-        let mut branch_taken = vec![false; n];
-        // (address, width, data_complete, enabled) per store seen so far.
-        let mut stores_seen: Vec<(usize, u64, u8, u64)> = Vec::new();
+        scratch.reset();
+        let IterScratch { cur_value, cur_complete, branch_taken, stores_seen, eval_state } =
+            scratch;
         let mut iteration_complete = 0u64;
 
         for (i, node) in prog.nodes.iter().enumerate() {
-            let my_coord = node.coord.map(|c| Coord::new(c.row + tile.row_offset, c.col));
+            let plan = &plans[i];
 
             // ---- predication ----
             let disabled = node.guards.iter().any(|&g| branch_taken[g as usize]);
             if disabled {
-                let (hv, hready, _) = self.operand(
-                    prog, tile, &cur_value, &cur_complete, &node.hidden, my_coord, base,
-                    first_iter, fabric, activity,
+                let (hv, hready, _) = resolve_operand(
+                    &plan.hidden, tile, cur_value, cur_complete, base, first_iter, fabric,
+                    activity,
                 );
                 cur_value[i] = hv;
                 cur_complete[i] = hready + 1; // mux pass-through
@@ -354,24 +553,22 @@ impl SpatialAccelerator {
             }
 
             // ---- operands ----
-            let (v1, r1) = match node.inputs[0] {
-                Operand::None => (0, base),
+            let (v1, r1) = match plan.inputs[0] {
+                OpPlan::None => (0, base),
                 ref op => {
-                    let (v, r, transfer) = self.operand(
-                        prog, tile, &cur_value, &cur_complete, op, my_coord, base, first_iter,
-                        fabric, activity,
+                    let (v, r, transfer) = resolve_operand(
+                        op, tile, cur_value, cur_complete, base, first_iter, fabric, activity,
                     );
                     counters.nodes[i].total_in_cycles[0] += transfer;
                     counters.nodes[i].in_samples[0] += 1;
                     (v, r)
                 }
             };
-            let (v2, r2) = match node.inputs[1] {
-                Operand::None => (0, base),
+            let (v2, r2) = match plan.inputs[1] {
+                OpPlan::None => (0, base),
                 ref op => {
-                    let (v, r, transfer) = self.operand(
-                        prog, tile, &cur_value, &cur_complete, op, my_coord, base, first_iter,
-                        fabric, activity,
+                    let (v, r, transfer) = resolve_operand(
+                        op, tile, cur_value, cur_complete, base, first_iter, fabric, activity,
                     );
                     counters.nodes[i].total_in_cycles[1] += transfer;
                     counters.nodes[i].in_samples[1] += 1;
@@ -381,21 +578,14 @@ impl SpatialAccelerator {
             let ready = r1.max(r2).max(base);
 
             // ---- execute ----
-            let class = node.instr.class();
-            let mut effective = node.instr;
-            if node.scale_imm_by_tiles && tiles > 1 {
-                effective.imm = node.instr.imm.wrapping_mul(tiles as i64);
-            }
-
-            let complete = match class {
+            let complete = match plan.class {
                 OpClass::Load => self.do_load(
-                    i, node, &effective, v1, ready, tile, fabric, mem, requester,
-                    unlimited_ports, first_iter, &stores_seen, &cur_complete, activity,
-                    &mut cur_value,
+                    i, node, plan, v1, ready, tile, fabric, mem, requester, unlimited_ports,
+                    first_iter, stores_seen, cur_complete, activity, cur_value,
                 ),
                 OpClass::Store => {
-                    let addr = v1.wrapping_add(effective.imm as u64);
-                    let width = effective.op.mem_width().expect("store width");
+                    let addr = v1.wrapping_add(plan.effective.imm as u64);
+                    let width = plan.mem_width;
                     // Program-order store commit (the LDFG keeps ordering).
                     let mut start = ready.max(tile.last_store_start + 1);
                     if !unlimited_ports {
@@ -409,17 +599,17 @@ impl SpatialAccelerator {
                     start + 1
                 }
                 OpClass::Branch => {
-                    let taken = eval_branch(&effective, v1, v2, xlen);
+                    let taken = eval_branch(eval_state, &plan.effective, v1, v2);
                     branch_taken[i] = taken;
                     activity.int_ops += 1;
                     activity.pe_busy_cycles += 1;
                     ready + 1
                 }
                 _ => {
-                    let value = eval_compute(&effective, v1, v2, xlen);
+                    let value = eval_compute(eval_state, &plan.effective, v1, v2);
                     cur_value[i] = value;
-                    let lat = effective.op.base_latency();
-                    if class.needs_fp() {
+                    let lat = plan.base_latency;
+                    if plan.class.needs_fp() {
                         activity.fp_ops += 1;
                     } else {
                         activity.int_ops += 1;
@@ -439,83 +629,12 @@ impl SpatialAccelerator {
         let taken = branch_taken[prog.loop_branch as usize];
         tile.iters += 1;
         tile.last_complete = iteration_complete;
-        tile.prev_value = cur_value;
-        tile.prev_complete = cur_complete;
+        // Hand the freshly computed buffers to the tile and take its old
+        // ones as next iteration's scratch (reset before reuse).
+        std::mem::swap(&mut tile.prev_value, cur_value);
+        std::mem::swap(&mut tile.prev_complete, cur_complete);
         if !taken {
             tile.running = false;
-        }
-    }
-
-    /// Resolves one operand to `(value, ready_time_at_consumer,
-    /// transfer_cycles)` — the last is what the per-edge latency counters
-    /// record (paper §5.2).
-    #[allow(clippy::too_many_arguments)]
-    fn operand(
-        &self,
-        prog: &AccelProgram,
-        tile: &TileState,
-        cur_value: &[u64],
-        cur_complete: &[u64],
-        op: &Operand,
-        consumer: Option<Coord>,
-        base: u64,
-        first_iter: bool,
-        fabric: &mut Fabric,
-        activity: &mut ActivityStats,
-    ) -> (u64, u64, u64) {
-        match *op {
-            Operand::None => (0, base, 0),
-            Operand::InitReg(r) => (tile.entry_regs[r.flat_index()], base, 0),
-            Operand::Node { idx, carried, via } => {
-                let idx = idx as usize;
-                if carried && first_iter {
-                    return (tile.entry_regs[via.flat_index()], base, 0);
-                }
-                let (value, produced) = if carried {
-                    (tile.prev_value[idx], tile.prev_complete[idx])
-                } else {
-                    (cur_value[idx], cur_complete[idx])
-                };
-                let producer = prog.nodes[idx]
-                    .coord
-                    .map(|c| Coord::new(c.row + tile.row_offset, c.col));
-                let arrival = self.transfer(producer, consumer, produced, fabric, activity);
-                (value, arrival.max(base), arrival - produced)
-            }
-        }
-    }
-
-    /// Times a value transfer between two (possibly unplaced) nodes.
-    fn transfer(
-        &self,
-        from: Option<Coord>,
-        to: Option<Coord>,
-        produced: u64,
-        fabric: &mut Fabric,
-        activity: &mut ActivityStats,
-    ) -> u64 {
-        match (from, to) {
-            (Some(a), Some(b)) => {
-                if a == b {
-                    produced
-                } else if self.model.is_local(a, b) {
-                    activity.local_transfers += 1;
-                    produced + self.model.transfer_latency(a, b)
-                } else {
-                    // NoC: arbitrate for the producer's row lane.
-                    let lat = self.model.transfer_latency(a, b);
-                    let start = fabric.book_lane(a.row, produced);
-                    activity.noc_transfers += 1;
-                    activity.noc_hop_cycles += lat;
-                    start + lat
-                }
-            }
-            _ => {
-                // Fallback bus: shared, serialized, slow.
-                let start = fabric.book_bus(produced);
-                activity.fallback_transfers += 1;
-                start + self.cfg.fallback_bus_latency
-            }
         }
     }
 
@@ -526,7 +645,7 @@ impl SpatialAccelerator {
         &self,
         i: usize,
         node: &NodeConfig,
-        effective: &Instruction,
+        plan: &NodePlan,
         base_value: u64,
         ready: u64,
         _tile: &mut TileState,
@@ -540,12 +659,12 @@ impl SpatialAccelerator {
         activity: &mut ActivityStats,
         cur_value: &mut [u64],
     ) -> u64 {
-        let addr = base_value.wrapping_add(effective.imm as u64);
-        let width = effective.op.mem_width().expect("load width");
+        let addr = base_value.wrapping_add(plan.effective.imm as u64);
+        let width = plan.mem_width;
 
         // Functional value (stores earlier in program order already applied).
         let raw = mem.data_mut().load(addr, width);
-        let value = if effective.op.load_sign_extends() {
+        let value = if plan.sign_extend {
             let bits = u32::from(width) * 8;
             ((raw << (64 - bits)) as i64 >> (64 - bits)) as u64
         } else {
@@ -612,8 +731,47 @@ impl SpatialAccelerator {
 
 }
 
+/// Prepares the shared scratch [`ArchState`] so an evaluation on it is
+/// indistinguishable from one on a fresh zeroed state: the PC is reset
+/// (AUIPC/JAL read it, `step` advances it) and every register the
+/// instruction can read is written. Compute nodes read only their encoded
+/// sources (`rs1`/`rs2`/`rs3`), so stale values elsewhere are unobservable.
+#[inline]
+fn stage_eval_state(st: &mut ArchState, instr: &Instruction, v1: u64, v2: u64) {
+    st.pc = 0;
+    if let Some(r) = instr.rs3 {
+        st.write(r, 0);
+    }
+    if let Some(r) = instr.rs1 {
+        st.write(r, v1);
+    }
+    if let Some(r) = instr.rs2 {
+        st.write(r, v2);
+    }
+}
+
 /// Evaluates a conditional branch's direction with exact ISA semantics.
-fn eval_branch(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> bool {
+fn eval_branch(st: &mut ArchState, instr: &Instruction, v1: u64, v2: u64) -> bool {
+    stage_eval_state(st, instr, v1, v2);
+    let mut nomem = NoMemory;
+    match step(st, instr, &mut nomem).outcome {
+        Outcome::Branch { taken, .. } => taken,
+        other => unreachable!("branch evaluated to {other:?}"),
+    }
+}
+
+/// Evaluates a non-memory, non-branch node with exact ISA semantics.
+fn eval_compute(st: &mut ArchState, instr: &Instruction, v1: u64, v2: u64) -> u64 {
+    stage_eval_state(st, instr, v1, v2);
+    let mut nomem = NoMemory;
+    step(st, instr, &mut nomem);
+    instr.rd.map_or(0, |rd| st.read(rd))
+}
+
+/// Fresh-state branch evaluation — the pre-optimization implementation,
+/// kept as the oracle for the scratch-reuse equivalence property.
+#[cfg(test)]
+fn eval_branch_fresh(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> bool {
     let mut st = ArchState::new(0, xlen);
     let mut nomem = NoMemory;
     if let Some(r) = instr.rs1 {
@@ -628,8 +786,10 @@ fn eval_branch(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> bool {
     }
 }
 
-/// Evaluates a non-memory, non-branch node with exact ISA semantics.
-fn eval_compute(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> u64 {
+/// Fresh-state compute evaluation — the pre-optimization implementation,
+/// kept as the oracle for the scratch-reuse equivalence property.
+#[cfg(test)]
+fn eval_compute_fresh(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> u64 {
     let mut st = ArchState::new(0, xlen);
     let mut nomem = NoMemory;
     if let Some(r) = instr.rs1 {
@@ -1067,6 +1227,104 @@ mod tests {
         let pf = accel.execute(&prog, &entry, &mut mem, 0, 10_000).unwrap();
         assert!(pf.activity.prefetch_hits > 0);
         assert!(pf.cycles <= plain.cycles);
+    }
+
+    /// The scratch-reuse evaluators must be indistinguishable from the
+    /// fresh-state originals for any instruction, *including* after the
+    /// scratch state has been polluted by a long random sequence of prior
+    /// evaluations (stale registers, advanced PC).
+    #[test]
+    fn scratch_eval_matches_fresh_oracle_on_random_programs() {
+        use mesa_test::{forall, prop_assert_eq, Checker};
+
+        // Compute ops across every class the PE path can see: integer ALU,
+        // mul/div, upper-immediate (reads PC via AUIPC), FP including the
+        // three-source FMA family (exercises the rs3 staging).
+        const COMPUTE: &[Opcode] = &[
+            Opcode::Add, Opcode::Sub, Opcode::Sll, Opcode::Slt, Opcode::Sltu,
+            Opcode::Xor, Opcode::Srl, Opcode::Sra, Opcode::Or, Opcode::And,
+            Opcode::Addi, Opcode::Xori, Opcode::Andi, Opcode::Slli, Opcode::Srli,
+            Opcode::Mul, Opcode::Mulh, Opcode::Div, Opcode::Rem,
+            Opcode::Lui, Opcode::Auipc,
+            Opcode::FaddS, Opcode::FsubS, Opcode::FmulS, Opcode::FdivS,
+            Opcode::FminS, Opcode::FsgnjS, Opcode::FeqS, Opcode::FltS,
+        ];
+        const BRANCHES: &[Opcode] =
+            &[Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge, Opcode::Bltu, Opcode::Bgeu];
+        const FMA: &[Opcode] =
+            &[Opcode::FmaddS, Opcode::FmsubS, Opcode::FnmaddS, Opcode::FnmsubS];
+
+        fn instr_for(sel: u64, imm: i64) -> Instruction {
+            let fp_reg = |n: u64| Reg::f((n % 8) as u8);
+            let int_reg = |n: u64| Reg::x((1 + n % 7) as u8);
+            let pick = (sel >> 8) as usize;
+            match sel % 3 {
+                0 => {
+                    let op = COMPUTE[pick % COMPUTE.len()];
+                    let reg = |n: u64| if op.class().needs_fp() { fp_reg(n) } else { int_reg(n) };
+                    match op {
+                        Opcode::Lui | Opcode::Auipc => {
+                            Instruction::upper(op, int_reg(sel >> 20), imm << 12)
+                        }
+                        Opcode::Addi | Opcode::Xori | Opcode::Andi | Opcode::Slli
+                        | Opcode::Srli => Instruction::reg_imm(
+                            op,
+                            int_reg(sel >> 20),
+                            int_reg(sel >> 26),
+                            if matches!(op, Opcode::Slli | Opcode::Srli) { imm & 31 } else { imm },
+                        ),
+                        Opcode::FeqS | Opcode::FltS => Instruction::reg3(
+                            op,
+                            int_reg(sel >> 20),
+                            fp_reg(sel >> 26),
+                            fp_reg(sel >> 32),
+                        ),
+                        _ => Instruction::reg3(op, reg(sel >> 20), reg(sel >> 26), reg(sel >> 32)),
+                    }
+                }
+                1 => {
+                    let op = FMA[pick % FMA.len()];
+                    Instruction::reg4(
+                        op,
+                        fp_reg(sel >> 20),
+                        fp_reg(sel >> 26),
+                        fp_reg(sel >> 32),
+                        fp_reg(sel >> 38),
+                    )
+                }
+                _ => {
+                    let op = BRANCHES[pick % BRANCHES.len()];
+                    Instruction::branch(op, int_reg(sel >> 20), int_reg(sel >> 26), 8)
+                }
+            }
+        }
+
+        forall!(
+            Checker::new("engine::scratch_eval_matches_fresh").cases(64),
+            |(seed in 0u64..u64::MAX, len in 4usize..40)| {
+                let mut shared = ArchState::new(0, Xlen::Rv32);
+                let mut sel = seed;
+                for k in 0..len {
+                    // Cheap xorshift so each step sees a different instruction.
+                    sel ^= sel << 13;
+                    sel ^= sel >> 7;
+                    sel ^= sel << 17;
+                    let imm = ((sel >> 40) as i64 & 0x7FF) - 1024;
+                    let instr = instr_for(sel, imm);
+                    let v1 = sel.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let v2 = sel.rotate_left(17) ^ 0xABCD_EF01;
+                    if instr.op.is_branch() {
+                        let got = eval_branch(&mut shared, &instr, v1, v2);
+                        let want = eval_branch_fresh(&instr, v1, v2, Xlen::Rv32);
+                        prop_assert_eq!(got, want, "step {} instr {}", k, instr);
+                    } else {
+                        let got = eval_compute(&mut shared, &instr, v1, v2);
+                        let want = eval_compute_fresh(&instr, v1, v2, Xlen::Rv32);
+                        prop_assert_eq!(got, want, "step {} instr {}", k, instr);
+                    }
+                }
+            }
+        );
     }
 
     #[test]

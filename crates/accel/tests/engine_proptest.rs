@@ -165,6 +165,36 @@ fn counters_fire_once_per_iteration() {
     });
 }
 
+/// Re-running a random program through the *same* accelerator instance
+/// must reproduce the first run exactly: the engine's reused iteration
+/// scratch (dense value/complete buffers, shared eval state) may not leak
+/// anything between executions or between iterations.
+#[test]
+fn repeated_execution_is_bit_identical() {
+    forall!(checker("engine::repeated_execution_is_bit_identical"), |(bound in 1u64..120, chain in 1usize..12, pipelined in 0u8..2)| {
+        let prog = chain_program(chain, pipelined == 1);
+        let accel = SpatialAccelerator::new(AccelConfig::m128());
+        let run_once = || {
+            let mut mem = MemorySystem::new(MemConfig::default(), 1);
+            let mut entry = ArchState::new(0x1000, Xlen::Rv32);
+            entry.write(A1, bound);
+            entry.write(A4, 0x40_0000);
+            accel.execute(&prog, &entry, &mut mem, 0, 1_000_000).expect("runs")
+        };
+        let a = run_once();
+        let b = run_once();
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(&a.final_regs, &b.final_regs);
+        prop_assert_eq!(a.activity.pe_busy_cycles, b.activity.pe_busy_cycles);
+        for (x, y) in a.counters.nodes.iter().zip(&b.counters.nodes) {
+            prop_assert_eq!(x.fires, y.fires);
+            prop_assert_eq!(x.total_op_cycles, y.total_op_cycles);
+        }
+    });
+}
+
 /// The persisted regression seeds must parse, load, and actually replay
 /// on every run (they execute before any fresh random case).
 #[test]

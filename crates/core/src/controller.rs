@@ -320,6 +320,10 @@ pub struct MesaController {
     /// Regions that failed C1–C3; the detector ignores them afterwards so
     /// monitoring can move past a hot-but-unaccelerable loop.
     blacklist: std::collections::HashSet<(u64, u64)>,
+    /// Persistent trace cache: when the same hot loop is re-detected in a
+    /// later episode and refills with identical words, its decoded
+    /// [`Program`] is served from the cache instead of re-decoding.
+    trace_cache: TraceCache,
 }
 
 impl MesaController {
@@ -327,11 +331,13 @@ impl MesaController {
     #[must_use]
     pub fn new(system: SystemConfig) -> Self {
         let accel = SpatialAccelerator::new(system.accel);
+        let trace_cache = TraceCache::new(system.accel.max_instrs());
         MesaController {
             system,
             accel,
             cache: ConfigCache::new(),
             blacklist: std::collections::HashSet::new(),
+            trace_cache,
         }
     }
 
@@ -484,7 +490,7 @@ impl MesaController {
         // stream during monitoring. Instructions never executed (paths
         // skipped by forward branches) use the "stall fetch and read the
         // I-cache directly" fallback of §4.1.
-        let mut tc = TraceCache::new(self.system.accel.max_instrs());
+        let tc = &mut self.trace_cache;
         let region_from_tc = tc
             .open_region(hot.start_pc, hot.end_pc)
             .ok()

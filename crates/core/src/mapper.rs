@@ -153,13 +153,17 @@ where
     let mut est_latency = vec![0u64; n];
     let mut failed = Vec::new();
     let mut last_placed: Option<Coord> = None;
+    // Reused across nodes: the filtered candidate window and the memoized
+    // per-source (latency, producer placement) pairs.
+    let mut candidates: Vec<Coord> = Vec::with_capacity(cfg.window_rows * cfg.window_cols);
+    let mut src_arrivals: Vec<(u64, Option<Coord>)> = Vec::new();
 
     for (i, node) in ldfg.nodes.iter().enumerate() {
         // Arrival estimate per source and the anchoring predecessor.
         let (anchor, rect_corners) =
             anchor_for(node, &placement, &est_latency, last_placed);
 
-        let candidates = gather_candidates(
+        gather_candidates(
             grid,
             anchor,
             rect_corners,
@@ -167,21 +171,54 @@ where
             node.instr.class(),
             &free,
             supports,
+            &mut candidates,
         );
 
+        // Memoize the placed-source arrival inputs once per node instead of
+        // re-resolving operands and placements for every candidate.
+        src_arrivals.clear();
+        for src in &node.src {
+            if let Operand::Node { idx, carried: false, .. } = *src {
+                src_arrivals.push((
+                    est_latency[idx as usize],
+                    placement.get(idx as usize).copied().flatten(),
+                ));
+            }
+        }
+
         // Evaluate expected latency at each candidate (Alg. 1 lines 8-18).
+        // `free_neighbors` is only consulted to break exact latency ties,
+        // so it is evaluated lazily: for candidates that improve on the
+        // best latency (to seed future tie-breaks) and for tie candidates.
         let mut best: Option<(Coord, u64, usize)> = None;
-        for c in candidates {
-            let exp = expected_latency(node, c, &placement, &est_latency, model, cfg);
-            let neighbors = free_neighbors(grid, &free, c);
-            let better = match best {
-                None => true,
-                Some((_, bl, bn)) => {
-                    exp < bl || (cfg.tie_break_neighbors && exp == bl && neighbors > bn)
+        for &c in &candidates {
+            let mut arrival = 0u64;
+            for &(l_s, p) in &src_arrivals {
+                let transfer = match p {
+                    Some(p) => model.transfer_latency(p, c),
+                    None => cfg.fallback_penalty,
+                };
+                arrival = arrival.max(l_s + transfer);
+            }
+            let exp = node.op_weight + arrival;
+            match best {
+                Some((_, bl, _)) if exp > bl => {}
+                Some((_, bl, bn)) if exp == bl => {
+                    if cfg.tie_break_neighbors {
+                        let neighbors = free_neighbors(grid, &free, c);
+                        if neighbors > bn {
+                            best = Some((c, exp, neighbors));
+                        }
+                    }
                 }
-            };
-            if better {
-                best = Some((c, exp, neighbors));
+                _ => {
+                    best = Some((c, exp, free_neighbors(grid, &free, c)));
+                    // Source-less nodes score identically everywhere; with
+                    // the tie-break disabled the first candidate is final.
+                    if src_arrivals.is_empty() && !cfg.tie_break_neighbors {
+                        break;
+                    }
+                }
             }
         }
 
@@ -238,7 +275,9 @@ fn anchor_for(
     (anchor, rect)
 }
 
-/// Builds the filtered candidate list `C_i ⊙ C_free ⊙ C_op`.
+/// Builds the filtered candidate list `C_i ⊙ C_free ⊙ C_op` into `out`
+/// (cleared first; the buffer is reused across nodes).
+#[allow(clippy::too_many_arguments)]
 fn gather_candidates<S>(
     grid: GridDim,
     anchor: Coord,
@@ -247,8 +286,8 @@ fn gather_candidates<S>(
     class: OpClass,
     free: &[bool],
     supports: &S,
-) -> Vec<Coord>
-where
+    out: &mut Vec<Coord>,
+) where
     S: Fn(Coord, OpClass) -> bool,
 {
     let (row_range, col_range) = match (cfg.window_mode, rect) {
@@ -278,7 +317,7 @@ where
         }
     };
 
-    let mut out = Vec::with_capacity(cfg.window_rows * cfg.window_cols);
+    out.clear();
     for row in row_range {
         for col in col_range.clone() {
             let c = Coord::new(row, col);
@@ -287,30 +326,6 @@ where
             }
         }
     }
-    out
-}
-
-/// Expected completion latency of `node` if placed at `c` (Eq. 1).
-fn expected_latency<M: LatencyModel + ?Sized>(
-    node: &LdfgNode,
-    c: Coord,
-    placement: &[Option<Coord>],
-    est_latency: &[u64],
-    model: &M,
-    cfg: &MapperConfig,
-) -> u64 {
-    let mut arrival = 0u64;
-    for src in &node.src {
-        if let Operand::Node { idx, carried: false, .. } = *src {
-            let l_s = est_latency[idx as usize];
-            let transfer = match placement.get(idx as usize).copied().flatten() {
-                Some(p) => model.transfer_latency(p, c),
-                None => cfg.fallback_penalty,
-            };
-            arrival = arrival.max(l_s + transfer);
-        }
-    }
-    node.op_weight + arrival
 }
 
 /// Model latency for a node left on the fallback bus.

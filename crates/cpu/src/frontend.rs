@@ -109,12 +109,28 @@ impl RetireMonitor for LoopStreamDetector {
 /// Sized to the maximum number of instructions mappable on the accelerator
 /// (64–512 in the paper's evaluations); a region longer than the capacity
 /// fails condition C1 up front.
+///
+/// The cache is designed to be long-lived: re-opening the same region and
+/// re-filling it with identical words (the common case when the same hot
+/// loop is offloaded episode after episode) leaves the fill generation
+/// unchanged, so [`TraceCache::to_program`] can serve the previously
+/// decoded [`Program`] instead of re-decoding every word.
 #[derive(Debug, Clone)]
 pub struct TraceCache {
     capacity: usize,
     start_pc: u64,
     end_pc: u64,
     words: Vec<Option<u32>>,
+    /// Per-slot "written since the last `open_region`" bits. A slot whose
+    /// bit is clear behaves exactly like an empty slot — `is_complete`,
+    /// `fill_ratio`, and the fallback fill all look at these bits — but its
+    /// previous word is retained so an identical re-fill does not bump the
+    /// generation.
+    fresh: Vec<bool>,
+    /// Bumped only when a slot's word *value* actually changes.
+    generation: u64,
+    /// Last decode, keyed by `(start_pc, end_pc, generation)`.
+    decoded: Option<(u64, u64, u64, Option<Program>)>,
 }
 
 /// Error from [`TraceCache::open_region`].
@@ -142,7 +158,15 @@ impl TraceCache {
     /// An empty trace cache able to hold `capacity` instructions.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        TraceCache { capacity, start_pc: 0, end_pc: 0, words: Vec::new() }
+        TraceCache {
+            capacity,
+            start_pc: 0,
+            end_pc: 0,
+            words: Vec::new(),
+            fresh: Vec::new(),
+            generation: 0,
+            decoded: None,
+        }
     }
 
     /// Capacity in instructions.
@@ -160,9 +184,16 @@ impl TraceCache {
         if needed > self.capacity {
             return Err(RegionTooLarge { needed, capacity: self.capacity });
         }
-        self.start_pc = start_pc;
-        self.end_pc = end_pc;
-        self.words = vec![None; needed];
+        if start_pc == self.start_pc && end_pc == self.end_pc && self.words.len() == needed {
+            // Same region as last time: keep the stored words (so identical
+            // re-fills preserve the generation) but mark every slot stale.
+            self.fresh.fill(false);
+        } else {
+            self.start_pc = start_pc;
+            self.end_pc = end_pc;
+            self.words = vec![None; needed];
+            self.fresh = vec![false; needed];
+        }
         Ok(())
     }
 
@@ -170,7 +201,11 @@ impl TraceCache {
     pub fn fill(&mut self, pc: u64, word: u32) {
         if (self.start_pc..self.end_pc).contains(&pc) && (pc - self.start_pc).is_multiple_of(4) {
             let idx = ((pc - self.start_pc) / 4) as usize;
-            self.words[idx] = Some(word);
+            if self.words[idx] != Some(word) {
+                self.words[idx] = Some(word);
+                self.generation += 1;
+            }
+            self.fresh[idx] = true;
         }
     }
 
@@ -179,11 +214,15 @@ impl TraceCache {
     /// describes for instructions never observed dynamically.
     pub fn fill_from_program(&mut self, program: &Program) {
         for idx in 0..self.words.len() {
-            let pc = self.start_pc + 4 * idx as u64;
-            if self.words[idx].is_none() {
+            if !self.fresh[idx] {
+                let pc = self.start_pc + 4 * idx as u64;
                 if let Some(i) = program.fetch(pc) {
                     if let Ok(w) = codec::encode(i) {
-                        self.words[idx] = Some(w);
+                        if self.words[idx] != Some(w) {
+                            self.words[idx] = Some(w);
+                            self.generation += 1;
+                        }
+                        self.fresh[idx] = true;
                     }
                 }
             }
@@ -193,29 +232,45 @@ impl TraceCache {
     /// `true` once every slot in the region has been captured.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        !self.words.is_empty() && self.words.iter().all(Option::is_some)
+        !self.fresh.is_empty() && self.fresh.iter().all(|&f| f)
     }
 
     /// Fraction of the region captured so far.
     #[must_use]
     pub fn fill_ratio(&self) -> f64 {
-        if self.words.is_empty() {
+        if self.fresh.is_empty() {
             return 0.0;
         }
-        self.words.iter().filter(|w| w.is_some()).count() as f64 / self.words.len() as f64
+        self.fresh.iter().filter(|&&f| f).count() as f64 / self.fresh.len() as f64
+    }
+
+    /// Fill generation: bumps only when a captured word actually changes,
+    /// never on identical re-fills of the same region.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Decodes the captured region into a [`Program`] based at the region
-    /// start.
+    /// start. Re-decoding the same `(region, generation)` is served from a
+    /// one-entry decode cache.
     ///
     /// Returns `None` until [`TraceCache::is_complete`].
     #[must_use]
-    pub fn to_program(&self) -> Option<Program> {
+    pub fn to_program(&mut self) -> Option<Program> {
         if !self.is_complete() {
             return None;
         }
+        let key = (self.start_pc, self.end_pc, self.generation);
+        if let Some((s, e, g, prog)) = &self.decoded {
+            if (*s, *e, *g) == key {
+                return prog.clone();
+            }
+        }
         let words: Vec<u32> = self.words.iter().map(|w| w.expect("complete")).collect();
-        Program::decode(self.start_pc, &words).ok()
+        let prog = Program::decode(self.start_pc, &words).ok();
+        self.decoded = Some((key.0, key.1, key.2, prog.clone()));
+        prog
     }
 }
 
@@ -302,6 +357,65 @@ mod tests {
         tc.fill(0x1008, 0x13); // at end (exclusive)
         tc.fill(0x1002, 0x13); // misaligned
         assert_eq!(tc.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reopening_same_region_requires_refill_but_keeps_generation() {
+        let mut a = Asm::new(0x1000);
+        a.label("l");
+        a.addi(T0, T0, 1);
+        a.bne(T0, T1, "l");
+        let p = a.finish().unwrap();
+        let words = p.encode().unwrap();
+
+        let mut tc = TraceCache::new(64);
+        tc.open_region(0x1000, 0x1008).unwrap();
+        tc.fill(0x1000, words[0]);
+        tc.fill(0x1004, words[1]);
+        let first = tc.to_program().unwrap();
+        let gen_after_first = tc.generation();
+
+        // Re-opening the same region invalidates completeness...
+        tc.open_region(0x1000, 0x1008).unwrap();
+        assert!(!tc.is_complete());
+        assert_eq!(tc.fill_ratio(), 0.0);
+        assert_eq!(tc.to_program(), None);
+
+        // ...but an identical re-fill does not advance the generation, and
+        // decodes to the same program (now via the decode cache).
+        tc.fill(0x1000, words[0]);
+        tc.fill(0x1004, words[1]);
+        assert_eq!(tc.generation(), gen_after_first);
+        assert_eq!(tc.to_program().unwrap().instrs, first.instrs);
+    }
+
+    #[test]
+    fn changed_word_bumps_generation_and_redecodes() {
+        let mut a = Asm::new(0x1000);
+        a.addi(T0, T0, 1);
+        a.addi(T1, T1, 2);
+        let p = a.finish().unwrap();
+        let words = p.encode().unwrap();
+
+        let mut tc = TraceCache::new(8);
+        tc.open_region(0x1000, 0x1008).unwrap();
+        tc.fill(0x1000, words[0]);
+        tc.fill(0x1004, words[1]);
+        let first = tc.to_program().unwrap();
+        assert_eq!(first.instrs[1], Instruction::reg_imm(Opcode::Addi, T1, T1, 2));
+
+        // Same region, one word replaced: the decode must reflect it.
+        let mut b = Asm::new(0x1004);
+        b.addi(T2, T2, 7);
+        let replacement = b.finish().unwrap().encode().unwrap()[0];
+        let gen_before = tc.generation();
+        tc.open_region(0x1000, 0x1008).unwrap();
+        tc.fill(0x1000, words[0]);
+        tc.fill(0x1004, replacement);
+        assert!(tc.generation() > gen_before);
+        let second = tc.to_program().unwrap();
+        assert_eq!(second.instrs[0], first.instrs[0]);
+        assert_eq!(second.instrs[1], Instruction::reg_imm(Opcode::Addi, T2, T2, 7));
     }
 
     #[test]

@@ -197,18 +197,132 @@ impl RetireMonitor for NullMonitor {
 
 const ISSUE_RING: usize = 1 << 16;
 
+/// Issue-ring slots pack the per-run generation in the high bits and the
+/// per-cycle issue count in the low bits, so a new run invalidates the
+/// whole 64 Ki-entry ring by bumping the generation instead of zeroing
+/// 256 KiB of memory per [`OoOCore::run`] call (the controller makes many
+/// short calls per episode).
+const SLOT_COUNT_BITS: u32 = 24;
+const SLOT_COUNT_MASK: u64 = (1 << SLOT_COUNT_BITS) - 1;
+
+/// Flat register index meaning "no destination".
+const NO_DEST: u8 = u8::MAX;
+
+/// A predecoded micro-op: everything `run` needs per dynamic instruction
+/// that does not depend on run-time state, extracted once per static
+/// instruction instead of once per fetch.
+#[derive(Debug, Clone, Copy)]
+struct Uop {
+    instr: Instruction,
+    class: OpClass,
+    /// Functional-unit pool: 0 = ALU, 1 = mul/div, 2 = FP, 3 = memory.
+    pool: u8,
+    /// Flat indices of non-zero source registers.
+    srcs: [u8; 3],
+    nsrcs: u8,
+    /// Flat index of the destination register, or [`NO_DEST`].
+    dest: u8,
+    base_latency: u64,
+    is_jalr: bool,
+}
+
+impl Uop {
+    fn from_instr(instr: Instruction) -> Self {
+        let mut srcs = [0u8; 3];
+        let mut nsrcs = 0u8;
+        for src in instr.raw_sources() {
+            if !src.is_zero() {
+                srcs[usize::from(nsrcs)] = src.flat_index() as u8;
+                nsrcs += 1;
+            }
+        }
+        let class = instr.class();
+        let pool = match class {
+            OpClass::IntMul | OpClass::IntDiv => 1,
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => 2,
+            OpClass::Load | OpClass::Store => 3,
+            _ => 0,
+        };
+        Uop {
+            instr,
+            class,
+            pool,
+            srcs,
+            nsrcs,
+            dest: instr.dest().map_or(NO_DEST, |r| r.flat_index() as u8),
+            base_latency: instr.op.base_latency(),
+            is_jalr: instr.op == mesa_isa::Opcode::Jalr,
+        }
+    }
+}
+
+/// The micro-op cache: one predecoded program, revalidated by an O(n)
+/// instruction compare at the start of each run (the controller re-runs
+/// the same program many times per episode, so the compare amortizes the
+/// per-fetch decode work away without any staleness risk).
+#[derive(Debug, Clone)]
+struct Predecoded {
+    base_pc: u64,
+    uops: Vec<Uop>,
+}
+
+impl Predecoded {
+    fn matches(&self, program: &Program) -> bool {
+        self.base_pc == program.base_pc
+            && self.uops.len() == program.instrs.len()
+            && self.uops.iter().zip(&program.instrs).all(|(u, i)| u.instr == *i)
+    }
+}
+
+/// Per-run timing buffers, hoisted out of [`OoOCore::run`] so repeated
+/// short runs (the controller's monitoring and overlap quanta) reuse one
+/// allocation instead of reallocating per call.
+#[derive(Debug, Clone)]
+struct RunScratch {
+    /// Lazily allocated on first run; invalidated by generation bump.
+    issue_ring: Vec<u64>,
+    issue_gen: u64,
+    /// ROB occupancy ring (`cfg.rob_size` commit times). Slots are written
+    /// before they can be read within a run, so no per-run reset needed.
+    rob_ring: Vec<u64>,
+    /// Commit-bandwidth window ring (`cfg.commit_width` commit times).
+    commit_ring: Vec<u64>,
+    alu_free: Vec<u64>,
+    muldiv_free: Vec<u64>,
+    fp_free: Vec<u64>,
+    mem_free: Vec<u64>,
+}
+
+impl RunScratch {
+    fn new(cfg: &CoreConfig) -> Self {
+        RunScratch {
+            issue_ring: Vec::new(),
+            issue_gen: 0,
+            rob_ring: vec![0; cfg.rob_size],
+            commit_ring: vec![0; cfg.commit_width as usize],
+            alu_free: vec![0; cfg.alu_units],
+            muldiv_free: vec![0; cfg.muldiv_units],
+            fp_free: vec![0; cfg.fp_units],
+            mem_free: vec![0; cfg.mem_ports],
+        }
+    }
+}
+
 /// The out-of-order core.
 #[derive(Debug, Clone)]
 pub struct OoOCore {
     cfg: CoreConfig,
     predictor: BranchPredictor,
+    predecoded: Option<Predecoded>,
+    scratch: RunScratch,
 }
 
 impl OoOCore {
     /// Creates a core with fresh predictor state.
     #[must_use]
     pub fn new(cfg: CoreConfig) -> Self {
-        OoOCore { cfg, predictor: BranchPredictor::default() }
+        let scratch = RunScratch::new(&cfg);
+        OoOCore { cfg, predictor: BranchPredictor::default(), predecoded: None, scratch }
     }
 
     /// The configuration.
@@ -233,21 +347,43 @@ impl OoOCore {
     ) -> RunResult {
         let cfg = self.cfg;
         let mut reg_ready = [0u64; 64];
-        // ROB occupancy: commit time of the instruction `rob_size` back.
-        let mut rob_commits = std::collections::VecDeque::with_capacity(cfg.rob_size);
-        let mut issue_ring = vec![0u32; ISSUE_RING];
+
+        // Micro-op cache: revalidate (cheap compare) or rebuild.
+        if !self.predecoded.as_ref().is_some_and(|p| p.matches(program)) {
+            self.predecoded = Some(Predecoded {
+                base_pc: program.base_pc,
+                uops: program.instrs.iter().map(|&i| Uop::from_instr(i)).collect(),
+            });
+        }
+        let pred = self.predecoded.as_ref().expect("predecode populated above");
+        let base_pc = pred.base_pc;
+        let uops: &[Uop] = &pred.uops;
+
+        let predictor = &mut self.predictor;
+        let scratch = &mut self.scratch;
+        if scratch.issue_ring.is_empty() {
+            scratch.issue_ring = vec![0u64; ISSUE_RING];
+        }
+        scratch.issue_gen += 1;
+        let gen_tag = scratch.issue_gen << SLOT_COUNT_BITS;
+        let issue_ring = &mut scratch.issue_ring[..];
         let mut issue_ring_base = 0u64;
 
         // Functional-unit next-free times.
-        let mut alu_free = vec![0u64; cfg.alu_units];
-        let mut muldiv_free = vec![0u64; cfg.muldiv_units];
-        let mut fp_free = vec![0u64; cfg.fp_units];
-        let mut mem_free = vec![0u64; cfg.mem_ports];
+        for pool in [
+            &mut scratch.alu_free,
+            &mut scratch.muldiv_free,
+            &mut scratch.fp_free,
+            &mut scratch.mem_free,
+        ] {
+            pool.fill(0);
+        }
 
         let mut fetch_cycle = 0u64;
         let mut fetched_this_cycle = 0u32;
         let mut last_commit = 0u64;
-        let mut commit_times: Vec<u64> = Vec::new(); // sliding window of commit_width
+        let rob_size = cfg.rob_size as u64;
+        let commit_width = u64::from(cfg.commit_width);
 
         let mut result = RunResult {
             cycles: 0,
@@ -272,11 +408,16 @@ impl OoOCore {
                 result.stop = StopReason::InstrLimit;
                 break;
             }
-            let Some(&instr) = program.fetch(state.pc) else {
+            let pc = state.pc;
+            let uop_idx = if pc < base_pc || !(pc - base_pc).is_multiple_of(4) {
+                usize::MAX
+            } else {
+                ((pc - base_pc) / 4) as usize
+            };
+            let Some(uop) = uops.get(uop_idx) else {
                 result.stop = StopReason::OutOfProgram;
                 break;
             };
-            let pc = state.pc;
 
             // ---- fetch ----
             if fetched_this_cycle >= cfg.fetch_width {
@@ -287,30 +428,31 @@ impl OoOCore {
             fetched_this_cycle += 1;
 
             // ---- dispatch: frontend depth + ROB space ----
+            // `result.retired` is this instruction's dynamic index: the ring
+            // slot it reuses holds the commit time of the instruction
+            // `rob_size` back (the entry an equally-sized FIFO would pop).
             let mut dispatch = my_fetch + cfg.frontend_depth;
-            if rob_commits.len() >= cfg.rob_size {
-                let freed: u64 = rob_commits.pop_front().expect("rob nonempty");
+            if result.retired >= rob_size {
+                let freed = scratch.rob_ring[(result.retired % rob_size) as usize];
                 dispatch = dispatch.max(freed);
             }
 
             // ---- operand readiness ----
             let mut ready = dispatch;
-            for src in instr.raw_sources() {
-                if !src.is_zero() {
-                    ready = ready.max(reg_ready[src.flat_index()]);
-                }
+            for &src in &uop.srcs[..usize::from(uop.nsrcs)] {
+                ready = ready.max(reg_ready[usize::from(src)]);
             }
 
             // ---- functional execution (values, branch outcome, address) ----
-            let info = step(state, &instr, mem.data_mut());
+            let info = step(state, &uop.instr, mem.data_mut());
 
             // ---- issue: FU + issue bandwidth ----
-            let class = instr.class();
-            let pool: &mut Vec<u64> = match class {
-                OpClass::IntMul | OpClass::IntDiv => &mut muldiv_free,
-                OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => &mut fp_free,
-                OpClass::Load | OpClass::Store => &mut mem_free,
-                _ => &mut alu_free,
+            let class = uop.class;
+            let pool: &mut Vec<u64> = match uop.pool {
+                1 => &mut scratch.muldiv_free,
+                2 => &mut scratch.fp_free,
+                3 => &mut scratch.mem_free,
+                _ => &mut scratch.alu_free,
             };
             let unit = pool
                 .iter()
@@ -321,6 +463,8 @@ impl OoOCore {
             let mut issue = ready.max(pool[unit]);
 
             // Issue-bandwidth ring: at most issue_width issues per cycle.
+            // Slots from earlier runs carry a stale generation tag and read
+            // as zero.
             loop {
                 // Advance ring base if the window moved far ahead.
                 if issue < issue_ring_base {
@@ -328,12 +472,14 @@ impl OoOCore {
                 }
                 while issue >= issue_ring_base + ISSUE_RING as u64 {
                     let idx = (issue_ring_base % ISSUE_RING as u64) as usize;
-                    issue_ring[idx] = 0;
+                    issue_ring[idx] = gen_tag;
                     issue_ring_base += 1;
                 }
                 let idx = (issue % ISSUE_RING as u64) as usize;
-                if issue_ring[idx] < cfg.issue_width {
-                    issue_ring[idx] += 1;
+                let slot = issue_ring[idx];
+                let count = if slot & !SLOT_COUNT_MASK == gen_tag { slot & SLOT_COUNT_MASK } else { 0 };
+                if count < u64::from(cfg.issue_width) {
+                    issue_ring[idx] = gen_tag | (count + 1);
                     break;
                 }
                 issue += 1;
@@ -365,7 +511,7 @@ impl OoOCore {
                     (1, Some(acc.total), 1)
                 }
                 OpClass::IntDiv | OpClass::FpDiv => {
-                    let l = instr.op.base_latency();
+                    let l = uop.base_latency;
                     (l, None, l) // unpipelined
                 }
                 OpClass::System => {
@@ -373,21 +519,21 @@ impl OoOCore {
                     let l = if matches!(info.outcome, Outcome::Syscall) { 200 } else { 1 };
                     (l, None, 1)
                 }
-                _ => (instr.op.base_latency(), None, 1),
+                _ => (uop.base_latency, None, 1),
             };
             pool[unit] = issue + occupancy;
             let complete = issue + latency;
 
             // ---- writeback ----
-            if let Some(rd) = instr.dest() {
-                reg_ready[rd.flat_index()] = complete;
+            if uop.dest != NO_DEST {
+                reg_ready[usize::from(uop.dest)] = complete;
             }
 
             // ---- branch resolution / fetch redirect ----
             match info.outcome {
                 Outcome::Branch { taken, target } => {
                     result.branches += 1;
-                    let correct = self.predictor.update(pc, taken, target);
+                    let correct = predictor.update(pc, taken, target);
                     if !correct {
                         result.mispredicts += 1;
                         let redirect = complete + cfg.mispredict_penalty;
@@ -400,7 +546,7 @@ impl OoOCore {
                 }
                 Outcome::Jump { .. }
                     // Direct jumps resolve in decode; JALR may redirect.
-                    if instr.op == mesa_isa::Opcode::Jalr => {
+                    if uop.is_jalr => {
                         let redirect = complete + 1;
                         if redirect > fetch_cycle {
                             result.fetch_redirects += 1;
@@ -412,17 +558,16 @@ impl OoOCore {
             }
 
             // ---- in-order commit ----
+            // The commit ring reuses the slot of the instruction
+            // `commit_width` back: at most commit_width commits per cycle.
             let mut commit = complete.max(last_commit);
-            if commit_times.len() >= cfg.commit_width as usize {
-                let w = commit_times[commit_times.len() - cfg.commit_width as usize];
-                commit = commit.max(w + 1);
+            let commit_slot = (result.retired % commit_width) as usize;
+            if result.retired >= commit_width {
+                commit = commit.max(scratch.commit_ring[commit_slot] + 1);
             }
-            commit_times.push(commit);
-            if commit_times.len() > 2 * cfg.commit_width as usize {
-                commit_times.drain(..cfg.commit_width as usize);
-            }
+            scratch.commit_ring[commit_slot] = commit;
             last_commit = commit;
-            rob_commits.push_back(commit);
+            scratch.rob_ring[(result.retired % rob_size) as usize] = commit;
 
             result.retired += 1;
             match class {
@@ -433,7 +578,7 @@ impl OoOCore {
 
             monitor.on_retire(&RetireEvent {
                 pc,
-                instr,
+                instr: uop.instr,
                 info,
                 mem_latency,
                 complete_cycle: complete,

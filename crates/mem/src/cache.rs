@@ -75,14 +75,6 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_used: u64,
-}
-
 /// What an access did, as seen by this level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
@@ -92,11 +84,48 @@ pub struct AccessResult {
     pub evicted_dirty: bool,
 }
 
+/// Per-line state. An all-default line (`valid == false`) is an empty way.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// Sets whose slot count is at or below this live in flat, set-major
+/// arrays; above it, only touched sets are materialized. The boundary
+/// (16 K slots ≈ a 1 MiB direct-mapped or 64 KiB 16-way geometry) keeps
+/// every per-core L1 flat while the 8 MiB L2 goes sparse.
+const SPARSE_SLOT_THRESHOLD: usize = 1 << 14;
+
+/// Backing storage for the line state: flat for small caches (the L1s —
+/// the per-access hot path), sparse for big ones (the L2). A fresh
+/// `Cache::new(l2_8m())` used to clone-initialize megabytes of line
+/// state, which dominated short simulation runs that build a
+/// [`crate::MemorySystem`] per run; the sparse form makes construction
+/// O(1) and `flush` O(touched sets) while making exactly the same
+/// hit/miss/eviction decisions (an absent set *is* a set of invalid
+/// lines).
+#[derive(Debug, Clone)]
+enum SetStore {
+    /// `lines[set * ways + way]`, every set materialized.
+    Flat { lines: Vec<Line> },
+    /// Touched sets only, keyed by set index.
+    Sparse { sets: std::collections::HashMap<u64, Box<[Line]>, crate::sparse::PageHasherBuild> },
+}
+
 /// One level of set-associative cache (timing only).
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    num_sets: usize,
+    store: SetStore,
+    /// Most-recently-hit way per set. Purely a lookup accelerator: the hint
+    /// may go stale (invalidate/flush/eviction) so it is revalidated against
+    /// the line's `valid` bit and tag before use; a wrong hint only costs
+    /// the normal associative scan.
+    mru_way: Vec<u32>,
     stats: CacheStats,
     tick: u64,
 }
@@ -105,8 +134,45 @@ impl Cache {
     /// Builds an empty cache from its geometry.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = vec![vec![Line::default(); cfg.ways]; cfg.num_sets()];
-        Cache { cfg, sets, stats: CacheStats::default(), tick: 0 }
+        let num_sets = cfg.num_sets();
+        let slots = num_sets * cfg.ways;
+        let store = if slots <= SPARSE_SLOT_THRESHOLD {
+            SetStore::Flat { lines: vec![Line::default(); slots] }
+        } else {
+            SetStore::Sparse { sets: std::collections::HashMap::default() }
+        };
+        Cache {
+            cfg,
+            num_sets,
+            store,
+            mru_way: vec![0; num_sets],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// Builds the cache with the given storage form regardless of geometry.
+    ///
+    /// Only for the flat-vs-sparse equivalence property tests — the two
+    /// forms must be observationally identical, and this lets the test pit
+    /// them against each other on the same geometry.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_forced_storage(cfg: CacheConfig, sparse: bool) -> Self {
+        let num_sets = cfg.num_sets();
+        let store = if sparse {
+            SetStore::Sparse { sets: std::collections::HashMap::default() }
+        } else {
+            SetStore::Flat { lines: vec![Line::default(); num_sets * cfg.ways] }
+        };
+        Cache {
+            cfg,
+            num_sets,
+            store,
+            mru_way: vec![0; num_sets],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
     }
 
     /// The configured geometry.
@@ -128,8 +194,8 @@ impl Cache {
 
     fn index(&self, addr: u64) -> (usize, u64) {
         let line_addr = addr / self.cfg.line as u64;
-        let set = (line_addr % self.sets.len() as u64) as usize;
-        let tag = line_addr / self.sets.len() as u64;
+        let set = (line_addr % self.num_sets as u64) as usize;
+        let tag = line_addr / self.num_sets as u64;
         (set, tag)
     }
 
@@ -137,28 +203,65 @@ impl Cache {
     /// whether a dirty line was displaced.
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
         self.tick += 1;
+        let tick = self.tick;
         let (set_idx, tag) = self.index(addr);
-        let set = &mut self.sets[set_idx];
+        let ways = self.cfg.ways;
+        let set: &mut [Line] = match &mut self.store {
+            SetStore::Flat { lines } => &mut lines[set_idx * ways..(set_idx + 1) * ways],
+            SetStore::Sparse { sets } => sets
+                .entry(set_idx as u64)
+                .or_insert_with(|| vec![Line::default(); ways].into_boxed_slice()),
+        };
 
-        if let Some(line) = set.iter_mut().filter(|l| l.valid).find(|l| l.tag == tag) {
-            line.last_used = self.tick;
+        // Fast path: re-hit on the most recently used way of this set
+        // (the common case for the simulators' streaming access patterns).
+        // Tags are unique within a set, so hitting via the hint is
+        // indistinguishable from hitting via the scan below.
+        let hint = self.mru_way[set_idx] as usize;
+        if let Some(line) = set.get_mut(hint) {
+            if line.valid && line.tag == tag {
+                line.last_used = tick;
+                line.dirty |= is_write;
+                self.stats.hits += 1;
+                return AccessResult { hit: true, evicted_dirty: false };
+            }
+        }
+
+        if let Some((way, line)) =
+            set.iter_mut().enumerate().find(|(_, l)| l.valid && l.tag == tag)
+        {
+            line.last_used = tick;
             line.dirty |= is_write;
             self.stats.hits += 1;
+            self.mru_way[set_idx] = way as u32;
             return AccessResult { hit: true, evicted_dirty: false };
         }
 
         self.stats.misses += 1;
         // Victim: invalid line first, else LRU.
-        let victim = set
+        let (victim_way, victim) = set
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.last_used + 1 } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.last_used + 1 } else { 0 })
             .expect("cache set is never empty");
         let evicted_dirty = victim.valid && victim.dirty;
         if evicted_dirty {
             self.stats.writebacks += 1;
         }
-        *victim = Line { tag, valid: true, dirty: is_write, last_used: self.tick };
+        *victim = Line { tag, valid: true, dirty: is_write, last_used: tick };
+        self.mru_way[set_idx] = victim_way as u32;
         AccessResult { hit: false, evicted_dirty }
+    }
+
+    /// The set's lines, if materialized (a missing sparse set holds only
+    /// invalid lines, so "absent" and "all-invalid" are interchangeable).
+    fn set_lines(&self, set_idx: usize) -> Option<&[Line]> {
+        match &self.store {
+            SetStore::Flat { lines } => {
+                Some(&lines[set_idx * self.cfg.ways..(set_idx + 1) * self.cfg.ways])
+            }
+            SetStore::Sparse { sets } => sets.get(&(set_idx as u64)).map(|s| &s[..]),
+        }
     }
 
     /// Probes without filling or updating stats (used for snooping /
@@ -166,14 +269,24 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        self.set_lines(set_idx)
+            .is_some_and(|set| set.iter().any(|l| l.valid && l.tag == tag))
     }
 
     /// Invalidates the line containing `addr`, if present. Returns whether a
     /// line was dropped.
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let (set_idx, tag) = self.index(addr);
-        for line in &mut self.sets[set_idx] {
+        let set: &mut [Line] = match &mut self.store {
+            SetStore::Flat { lines } => {
+                &mut lines[set_idx * self.cfg.ways..(set_idx + 1) * self.cfg.ways]
+            }
+            SetStore::Sparse { sets } => match sets.get_mut(&(set_idx as u64)) {
+                Some(set) => set,
+                None => return false,
+            },
+        };
+        for line in set {
             if line.valid && line.tag == tag {
                 line.valid = false;
                 line.dirty = false;
@@ -185,11 +298,14 @@ impl Cache {
 
     /// Invalidates the whole cache (keeps statistics).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
-                line.dirty = false;
+        match &mut self.store {
+            SetStore::Flat { lines } => {
+                for line in lines {
+                    line.valid = false;
+                    line.dirty = false;
+                }
             }
+            SetStore::Sparse { sets } => sets.clear(),
         }
     }
 }

@@ -6,9 +6,48 @@
 
 use mesa_isa::MemoryIo;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Multiply–xorshift hasher for page numbers.
+///
+/// The default SipHash dominated the simulators' memory path (one keyed
+/// hash per *byte* before the per-access fast path below). Page numbers
+/// are small, dense integers under our control — not attacker input — so
+/// a single odd-constant multiply plus an xorshift to spread entropy into
+/// the low bits (the bucket index) is collision-free in practice and an
+/// order of magnitude cheaper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let h = self.0;
+        h ^ (h >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// `BuildHasher` for [`PageHasher`] — shared with the sparse cache-set
+/// store in [`crate::cache`], which has the same small-dense-integer key
+/// profile.
+pub type PageHasherBuild = BuildHasherDefault<PageHasher>;
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE]>, PageHasherBuild>;
 
 /// Sparse byte-addressable memory with 4 KiB page granularity.
 ///
@@ -22,7 +61,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl SparseMemory {
@@ -75,6 +114,21 @@ impl SparseMemory {
 
 impl MemoryIo for SparseMemory {
     fn load(&mut self, addr: u64, width: u8) -> u64 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        // Fast path: the access fits in one page, so resolve it once
+        // instead of once per byte.
+        if off + usize::from(width) <= PAGE_SIZE {
+            return match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => {
+                    let mut v = 0u64;
+                    for i in 0..usize::from(width) {
+                        v |= u64::from(page[off + i]) << (8 * i);
+                    }
+                    v
+                }
+                None => 0,
+            };
+        }
         let mut v = 0u64;
         for i in 0..width {
             v |= u64::from(self.read_byte(addr.wrapping_add(u64::from(i)))) << (8 * i);
@@ -83,6 +137,17 @@ impl MemoryIo for SparseMemory {
     }
 
     fn store(&mut self, addr: u64, width: u8, value: u64) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + usize::from(width) <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            for i in 0..usize::from(width) {
+                page[off + i] = (value >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..width {
             self.write_byte(addr.wrapping_add(u64::from(i)), (value >> (8 * i)) as u8);
         }

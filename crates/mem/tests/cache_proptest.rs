@@ -1,0 +1,64 @@
+//! Property tests for the cache model's two storage forms: the flat
+//! set-major array (small caches, per-access hot path) and the sparse
+//! touched-sets map (big caches, O(1) construction) must be
+//! observationally identical — same hit/miss results, same evictions,
+//! same statistics — under any interleaving of accesses, probes,
+//! invalidations, and flushes.
+
+use mesa_mem::{Cache, CacheConfig};
+use mesa_test::{forall, prop_assert, prop_assert_eq, Checker, Rng};
+
+/// Persisted counterexample seeds, replayed before novel cases.
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/cache_proptest.proptest-regressions");
+
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(64).regressions_file(REGRESSIONS)
+}
+
+#[test]
+fn flat_and_sparse_storage_agree() {
+    forall!(
+        checker("cache::flat_and_sparse_storage_agree"),
+        |(seed in 0u64..1 << 48, sets_log in 1u32..6, ways in 1usize..9, ops in 32usize..256)| {
+            let line = 64usize;
+            let cfg = CacheConfig {
+                size: (1 << sets_log) * ways * line,
+                ways,
+                line,
+                hit_latency: 1,
+            };
+            let mut flat = Cache::with_forced_storage(cfg, false);
+            let mut sparse = Cache::with_forced_storage(cfg, true);
+
+            let mut rng = Rng::seed_from_u64(seed);
+            for _ in 0..ops {
+                // Address pool sized ~4x the cache so evictions happen often.
+                let addr = u64::from(rng.next_u32()) % (4 * cfg.size as u64);
+                match rng.next_u32() % 16 {
+                    0 => {
+                        prop_assert_eq!(flat.probe(addr), sparse.probe(addr));
+                    }
+                    1 => {
+                        prop_assert_eq!(flat.invalidate(addr), sparse.invalidate(addr));
+                    }
+                    2 => {
+                        flat.flush();
+                        sparse.flush();
+                    }
+                    k => {
+                        let is_write = k % 2 == 0;
+                        prop_assert_eq!(flat.access(addr, is_write), sparse.access(addr, is_write));
+                    }
+                }
+                prop_assert_eq!(flat.stats(), sparse.stats());
+            }
+
+            // Final state sweep: every line the flat cache holds, the sparse
+            // one holds too (and vice versa).
+            for probe_addr in (0..4 * cfg.size as u64).step_by(line) {
+                prop_assert!(flat.probe(probe_addr) == sparse.probe(probe_addr));
+            }
+        }
+    );
+}

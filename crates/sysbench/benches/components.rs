@@ -6,7 +6,9 @@
 //!
 //! Run with `cargo bench --bench components`. Each benchmark prints one
 //! JSON line, and the whole suite is written to `BENCH_components.json`
-//! at the repository root so performance can be diffed across commits.
+//! at the repository root so performance can be diffed across commits
+//! (set `MESA_BENCH_OUT=<path>` to write elsewhere — `scripts/bench_diff.sh`
+//! uses this to compare a fresh run against the committed baseline).
 
 use mesa_accel::{AccelConfig, Coord, SpatialAccelerator};
 use mesa_core::{
@@ -147,6 +149,8 @@ fn main() {
     bench_engine(&mut suite);
     bench_engine_null_tracer(&mut suite);
     bench_ooo_core(&mut suite);
-    suite.write_json(OUT_PATH).expect("writes BENCH_components.json");
-    println!("wrote {OUT_PATH}");
+    let out = std::env::var("MESA_BENCH_OUT").ok().filter(|p| !p.is_empty());
+    let out = out.as_deref().unwrap_or(OUT_PATH);
+    suite.write_json(out).expect("writes the bench suite JSON");
+    println!("wrote {out}");
 }

@@ -5,6 +5,10 @@
 //! fig16 crossover trace all` (default `all`) and `size` is `tiny|small|large`
 //! (default `small`).
 //!
+//! `--jobs N` (or `MESA_JOBS=N`) fans the independent per-kernel
+//! simulations out over N worker threads; output is byte-identical for
+//! every worker count (defaults to the machine's available parallelism).
+//!
 //! Passing `--trace <path>` (or setting `MESA_TRACE=<path>`) captures a
 //! cycle-timestamped trace of one full `nn` offload episode: a Chrome
 //! trace-event file at `<path>` (load in Perfetto or `chrome://tracing`),
@@ -37,6 +41,10 @@ fn main() {
             profile_path = args.next();
         } else if let Some(p) = a.strip_prefix("--profile=") {
             profile_path = Some(p.to_string());
+        } else if a == "--jobs" {
+            set_jobs_arg(args.next().as_deref());
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            set_jobs_arg(Some(n));
         } else {
             rest.push(a);
         }
@@ -85,6 +93,16 @@ fn main() {
     }
     if run("crossover") {
         print_crossover(size);
+    }
+}
+
+fn set_jobs_arg(value: Option<&str>) {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0) {
+        Some(n) => bench::set_jobs(n),
+        None => {
+            eprintln!("--jobs expects a positive integer");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -13,6 +13,15 @@
 //!   bench and asserts `median_ns(name_a) <= median_ns(name_b) *
 //!   max_ratio`. Used to gate the `NullTracer` overhead against the
 //!   untraced engine path.
+//! * `tracecheck benchdiff <new.json> <baseline.json> <max_ratio>
+//!   [name...]` — compares a freshly produced microbench report against a
+//!   committed baseline and fails when any compared benchmark's median
+//!   regressed by more than `max_ratio` (e.g. `1.15` = 15% slower).
+//!   Benchmarks to compare may be listed explicitly; with none listed,
+//!   every benchmark present in the *baseline* is compared (a benchmark
+//!   missing from the new report is a failure; extra new benchmarks are
+//!   ignored so adding benches never breaks old baselines). Used by
+//!   `scripts/bench_diff.sh` as the perf-regression gate.
 //! * `tracecheck profile <report.json>` — parses `<path>` as the unified
 //!   profile report the `profile` binary writes (full JSON syntax check),
 //!   requires the top-down buckets to sum exactly to the total CPU-phase
@@ -28,10 +37,12 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("chrome") => check_chrome(args.get(1).map_or("", String::as_str)),
         Some("benchgate") => check_benchgate(&args[1..]),
+        Some("benchdiff") => check_benchdiff(&args[1..]),
         Some("profile") => check_profile(args.get(1).map_or("", String::as_str)),
         _ => Err(
             "usage: tracecheck chrome <trace.json>\n\
              \x20      tracecheck benchgate <bench.json> <name_a> <name_b> <max_ratio>\n\
+             \x20      tracecheck benchdiff <new.json> <baseline.json> <max_ratio> [name...]\n\
              \x20      tracecheck profile <report.json>"
                 .to_string(),
         ),
@@ -95,6 +106,58 @@ fn check_benchgate(args: &[String]) -> Result<String, String> {
     }
 }
 
+fn check_benchdiff(args: &[String]) -> Result<String, String> {
+    let [new_path, base_path, max_ratio, names @ ..] = args else {
+        return Err(
+            "benchdiff: expected <new.json> <baseline.json> <max_ratio> [name...]".into(),
+        );
+    };
+    let max_ratio: f64 = max_ratio
+        .parse()
+        .map_err(|e| format!("benchdiff: bad max_ratio {max_ratio:?}: {e}"))?;
+    let new_text =
+        std::fs::read_to_string(new_path).map_err(|e| format!("reading {new_path}: {e}"))?;
+    let base_text =
+        std::fs::read_to_string(base_path).map_err(|e| format!("reading {base_path}: {e}"))?;
+
+    let compare: Vec<String> = if names.is_empty() {
+        bench_names(&base_text)
+    } else {
+        names.to_vec()
+    };
+    if compare.is_empty() {
+        return Err(format!("{base_path}: baseline contains no benchmarks"));
+    }
+
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for name in &compare {
+        let base = median_ns(&base_text, name)
+            .ok_or_else(|| format!("{base_path}: no entry {name:?}"))?;
+        let new = median_ns(&new_text, name)
+            .ok_or_else(|| format!("{new_path}: no entry {name:?} (benchmark removed?)"))?;
+        let ratio = new / base.max(f64::MIN_POSITIVE);
+        lines.push(format!("  {name}: {base:.1} -> {new:.1} ns ({ratio:.3}x)"));
+        if ratio > max_ratio {
+            regressions.push(format!(
+                "{name}: {base:.1} -> {new:.1} ns ({ratio:.3}x > {max_ratio}x)"
+            ));
+        }
+    }
+    println!("tracecheck: benchdiff {new_path} vs {base_path}:");
+    for line in &lines {
+        println!("{line}");
+    }
+    if regressions.is_empty() {
+        Ok(format!(
+            "{} benchmark(s) within {max_ratio}x of the baseline",
+            compare.len()
+        ))
+    } else {
+        Err(format!("median regression(s): {}", regressions.join("; ")))
+    }
+}
+
 fn check_profile(path: &str) -> Result<String, String> {
     if path.is_empty() {
         return Err("profile: missing <report.json> path".into());
@@ -136,6 +199,20 @@ fn field_u64(compact: &str, key: &str) -> Option<u64> {
     num.parse().ok()
 }
 
+/// Lists every benchmark name in a JSON-lines report, in file order.
+fn bench_names(text: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let compact: String = line.split_whitespace().collect();
+        if let Some((_, rest)) = compact.split_once("\"name\":\"") {
+            if let Some((name, _)) = rest.split_once('"') {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names
+}
+
 /// Extracts `median_ns` for the named benchmark from the JSON-lines report
 /// the in-repo `mesa-test` BenchSuite writes (one object per line with
 /// `"name"` and `"median_ns"` fields).
@@ -166,6 +243,13 @@ mod tests {
         assert_eq!(field_u64(compact, "total_cycles"), Some(690));
         assert_eq!(field_u64(compact, "retiring"), Some(49));
         assert_eq!(field_u64(compact, "missing"), None);
+    }
+
+    #[test]
+    fn bench_names_lists_in_file_order() {
+        let text = "{\"name\":\"a/b\",\"median_ns\":1}\n{ \"name\": \"c/d\", \"median_ns\": 2 }\nnot json\n";
+        assert_eq!(bench_names(text), vec!["a/b".to_string(), "c/d".to_string()]);
+        assert!(bench_names("").is_empty());
     }
 
     #[test]

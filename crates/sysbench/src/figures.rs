@@ -5,6 +5,7 @@
 use crate::harness::{
     cpu_multicore, cpu_single, geomean, mesa_offload, region_ldfg, BaselineRun, MesaRun,
 };
+use crate::pool::par_map;
 use mesa_accel::AccelConfig;
 use mesa_baselines::{dora, dynaspam, opencgra};
 use mesa_core::{config_latency, ImapTiming, MapperConfig, OptFlags, SystemConfig};
@@ -86,8 +87,7 @@ pub fn reject_tag(reject: Option<&str>) -> &'static str {
 #[must_use]
 pub fn fig11(size: KernelSize) -> (Vec<Fig11Row>, [f64; 4]) {
     let p = EnergyParams::default();
-    let mut rows = Vec::new();
-    for kernel in all(size) {
+    let rows = par_map(all(size), |kernel| {
         let base = cpu_multicore(&kernel, BASELINE_CORES);
         let base_e = baseline_energy(&base, &p).total_pj();
         let per_cfg = |system: &SystemConfig| -> (f64, f64, Option<String>) {
@@ -102,15 +102,15 @@ pub fn fig11(size: KernelSize) -> (Vec<Fig11Row>, [f64; 4]) {
         };
         let (s128, e128, reject) = per_cfg(&SystemConfig::m128());
         let (s512, e512, _) = per_cfg(&SystemConfig::m512());
-        rows.push(Fig11Row {
+        Fig11Row {
             name: kernel.name,
             speedup_m128: s128,
             speedup_m512: s512,
             energy_m128: e128,
             energy_m512: e512,
             reject,
-        });
-    }
+        }
+    });
     // The paper reports plain averages ("MESA achieves 1.33x and 1.81x
     // performance gains ... averaged 1.86x and 1.92x").
     let mean = |f: &dyn Fn(&Fig11Row) -> f64| {
@@ -144,8 +144,7 @@ pub struct Fig12Row {
 /// OpenCGRA, with and without MESA's optimizations.
 #[must_use]
 pub fn fig12(size: KernelSize) -> Vec<Fig12Row> {
-    let mut rows = Vec::new();
-    for name in OPENCGRA_COMPATIBLE {
+    let rows = par_map(OPENCGRA_COMPATIBLE.to_vec(), |name| {
         let kernel = by_name(name, size).expect("compatible kernel");
         let ldfg = region_ldfg(&kernel).expect("compatible region");
         let instrs = ldfg.len() as u64;
@@ -175,14 +174,14 @@ pub fn fig12(size: KernelSize) -> Vec<Fig12Row> {
             .as_ref()
             .map_or(0.0, |r| instrs as f64 / r.cycles_per_iteration());
 
-        rows.push(Fig12Row {
+        Fig12Row {
             name: kernel.name,
             loop_instrs: instrs,
             mesa_noopt_ipc,
             opencgra_ipc,
             mesa_opt_ipc,
-        });
-    }
+        }
+    });
     rows
 }
 
@@ -202,12 +201,16 @@ pub struct Fig13Report {
 #[must_use]
 pub fn fig13(size: KernelSize) -> Fig13Report {
     let p = EnergyParams::default();
-    let mut total = EnergyBreakdown::default();
-    for name in POWER_BREAKDOWN_SET {
+    let parts = par_map(POWER_BREAKDOWN_SET.to_vec(), |name| {
         let kernel = by_name(name, size).expect("registered");
         let run = mesa_offload(&kernel, &SystemConfig::m128(), BASELINE_CORES);
         assert!(run.report.is_some(), "{name} must accelerate");
-        total = total.add(&mesa_energy(&run, &p));
+        mesa_energy(&run, &p)
+    });
+    // Fold in kernel order so the float sums match the sequential run.
+    let mut total = EnergyBreakdown::default();
+    for part in &parts {
+        total = total.add(part);
     }
     Fig13Report {
         area: vec![
@@ -242,8 +245,7 @@ pub struct Fig14Row {
 #[must_use]
 pub fn fig14(size: KernelSize) -> (Vec<Fig14Row>, [f64; 3]) {
     let core = CoreConfig::dynaspam_host();
-    let mut rows = Vec::new();
-    for name in DYNASPAM_SHARED {
+    let rows = par_map(DYNASPAM_SHARED.to_vec(), |name| {
         let kernel = by_name(name, size).expect("registered");
         let single = cpu_single(&kernel, core);
 
@@ -267,8 +269,8 @@ pub fn fig14(size: KernelSize) -> (Vec<Fig14Row>, [f64; 3]) {
         let run_it = mesa_offload(&kernel, &sys_it, 1);
         let mesa64_reconfig = single.cycles as f64 / run_it.cycles as f64;
 
-        rows.push(Fig14Row { name: kernel.name, dynaspam, mesa64, mesa64_reconfig, mesa_qualified: qualified });
-    }
+        Fig14Row { name: kernel.name, dynaspam, mesa64, mesa64_reconfig, mesa_qualified: qualified }
+    });
     let qualified: Vec<&Fig14Row> = rows.iter().filter(|r| r.mesa_qualified).collect();
     let means = [
         geomean(&rows.iter().map(|r| r.dynaspam).collect::<Vec<_>>()),
@@ -304,19 +306,16 @@ pub fn fig15(size: KernelSize) -> Vec<Fig15Row> {
     let pes_list = [16usize, 32, 64, 128, 256, 512];
     let base = accel_cycles(AccelConfig::with_pes(16));
     let base_ideal = accel_cycles(AccelConfig::with_pes(16).with_ideal_memory());
-    pes_list
-        .iter()
-        .map(|&pes| {
-            let default = accel_cycles(AccelConfig::with_pes(pes));
-            let ideal_mem = accel_cycles(AccelConfig::with_pes(pes).with_ideal_memory());
-            Fig15Row {
-                pes,
-                speedup: base as f64 / default as f64,
-                speedup_ideal_mem: base_ideal as f64 / ideal_mem as f64,
-                ideal: pes as f64 / 16.0,
-            }
-        })
-        .collect()
+    par_map(pes_list.to_vec(), |pes| {
+        let default = accel_cycles(AccelConfig::with_pes(pes));
+        let ideal_mem = accel_cycles(AccelConfig::with_pes(pes).with_ideal_memory());
+        Fig15Row {
+            pes,
+            speedup: base as f64 / default as f64,
+            speedup_ideal_mem: base_ideal as f64 / ideal_mem as f64,
+            ideal: pes as f64 / 16.0,
+        }
+    })
 }
 
 /// Fig. 16: average energy (nJ) per iteration vs iterations elapsed for

@@ -10,6 +10,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod pool;
 
 pub use figures::{
     crossover, fig11, fig12, fig13, fig14, fig15, fig16, reject_tag, table1, table2,
@@ -20,3 +21,4 @@ pub use harness::{
     cpu_multicore, cpu_single, geomean, mesa_offload, mesa_offload_traced, mesa_profile,
     mesa_profile_traced, region_ldfg, BaselineRun, MesaRun,
 };
+pub use pool::{jobs, par_map, set_jobs};

@@ -1,0 +1,145 @@
+//! Zero-dependency worker pool for the experiment harness.
+//!
+//! The figure generators run many independent simulations (one per
+//! kernel, per configuration, per PE count). [`par_map`] fans those out
+//! over scoped threads while keeping the *result order* identical to the
+//! input order, so every caller produces byte-identical output regardless
+//! of the worker count — `figures --jobs 8` prints exactly what
+//! `--jobs 1` prints, just sooner.
+//!
+//! Worker count resolution (first match wins):
+//! 1. an explicit [`set_jobs`] call (the `--jobs N` flag),
+//! 2. the `MESA_JOBS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Explicit override from `--jobs`/[`set_jobs`]; 0 = unset.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count for all subsequent [`par_map`] calls
+/// (process-wide). `0` clears the override, restoring `MESA_JOBS` /
+/// auto-detection.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count [`par_map`] will use right now.
+#[must_use]
+pub fn jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("MESA_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item, using up to [`jobs`] worker threads, and
+/// returns the results **in input order**.
+///
+/// Work is handed out through a shared atomic cursor, so threads never
+/// contend on more than one `fetch_add` per item; each result lands in
+/// its input's slot, making the output independent of scheduling.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope re-raises it on join).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("pool item lock")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let r = f(item);
+                *results[i].lock().expect("pool result lock") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool result lock")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `set_jobs` is process-global; serialize the tests that touch it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn results_keep_input_order() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_jobs(4);
+        let out = par_map((0..100u64).collect(), |x| x * x);
+        set_jobs(0);
+        assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_jobs(1);
+        let seq = par_map((0..37i64).collect(), |x| x * 3 - 1);
+        set_jobs(3);
+        let par = par_map((0..37i64).collect(), |x| x * 3 - 1);
+        set_jobs(0);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_jobs(8);
+        let empty: Vec<u32> = par_map(Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        let one = par_map(vec![7u32], |x| x + 1);
+        set_jobs(0);
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn jobs_override_wins() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_jobs(5);
+        assert_eq!(jobs(), 5);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! The parallel experiment harness must be invisible in the results: every
+//! figure computed with a worker pool has to match the sequential run
+//! exactly (same rows, same float bits), because the pool only reorders
+//! *work*, never the order results are collected or folded in.
+//!
+//! One test function drives all the comparisons: the worker count is
+//! process-global (`mesa_bench::set_jobs`), so splitting this into several
+//! `#[test]`s would race on it.
+
+use mesa_bench as bench;
+use mesa_workloads::KernelSize;
+
+/// Renders one full run of every parallelized figure at the current worker
+/// count. `Debug` formatting captures float bit-patterns to 17 significant
+/// digits' worth of precision, so any cross-thread reassociation of sums
+/// would show up here.
+fn all_parallel_figures(size: KernelSize) -> String {
+    let (fig11_rows, fig11_means) = bench::fig11(size);
+    let fig12_rows = bench::fig12(size);
+    let fig13 = bench::fig13(size);
+    let (fig14_rows, fig14_means) = bench::fig14(size);
+    let fig15_rows = bench::fig15(size);
+    format!(
+        "{fig11_rows:?}\n{fig11_means:?}\n{fig12_rows:?}\n{fig13:?}\n{fig14_rows:?}\n{fig14_means:?}\n{fig15_rows:?}"
+    )
+}
+
+#[test]
+fn figures_identical_for_any_worker_count() {
+    bench::set_jobs(1);
+    let sequential = all_parallel_figures(KernelSize::Tiny);
+
+    for jobs in [2, 4] {
+        bench::set_jobs(jobs);
+        let parallel = all_parallel_figures(KernelSize::Tiny);
+        assert_eq!(
+            sequential, parallel,
+            "figure results diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+
+    // Leave the global override cleared for any other harness user.
+    bench::set_jobs(0);
+}
