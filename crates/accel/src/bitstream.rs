@@ -30,6 +30,9 @@ pub enum BitstreamError {
     BadOperandTag(u8),
     /// A register index exceeded the architectural range.
     BadRegister(u64),
+    /// An instruction could not be re-encoded to machine form while
+    /// building the stream (a malformed configuration).
+    Unencodable(u64),
 }
 
 impl fmt::Display for BitstreamError {
@@ -42,6 +45,9 @@ impl fmt::Display for BitstreamError {
             }
             BitstreamError::BadOperandTag(t) => write!(f, "unknown operand tag {t}"),
             BitstreamError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            BitstreamError::Unencodable(pc) => {
+                write!(f, "instruction at {pc:#x} cannot be re-encoded")
+            }
         }
     }
 }
@@ -133,11 +139,11 @@ const FLAG_HAS_VECTOR_HEAD: u64 = 8;
 /// accelerator re-decodes it, exactly as PEs latch "registers holding
 /// instruction data" in the paper's §5.2.
 ///
-/// # Panics
-/// Panics if an instruction cannot be re-encoded to machine form, which
-/// cannot happen for programs built from decoded regions.
-#[must_use]
-pub fn encode(prog: &AccelProgram) -> Vec<u64> {
+/// # Errors
+/// Returns [`BitstreamError::Unencodable`] when an instruction cannot be
+/// re-encoded to machine form (impossible for programs built from decoded
+/// regions, but reachable from hand-built or corrupted configurations).
+pub fn encode(prog: &AccelProgram) -> Result<Vec<u64>, BitstreamError> {
     let mut w = Writer::default();
     w.push(MAGIC);
     w.push(prog.start_pc);
@@ -151,7 +157,8 @@ pub fn encode(prog: &AccelProgram) -> Vec<u64> {
 
     for node in &prog.nodes {
         w.push(node.pc);
-        let instr_word = codec::encode(&node.instr).expect("config instruction re-encodes");
+        let instr_word =
+            codec::encode(&node.instr).map_err(|_| BitstreamError::Unencodable(node.pc))?;
         let mut flags = 0u64;
         if node.prefetched {
             flags |= FLAG_PREFETCHED;
@@ -184,7 +191,7 @@ pub fn encode(prog: &AccelProgram) -> Vec<u64> {
     for &(reg, node) in &prog.live_out {
         w.push((reg.flat_index() as u64) << 32 | u64::from(node));
     }
-    w.words
+    Ok(w.words)
 }
 
 /// Decodes a bitstream back into the configured region.
@@ -250,10 +257,11 @@ pub fn decode(words: &[u64]) -> Result<AccelProgram, BitstreamError> {
 }
 
 /// Size of the encoded bitstream in bits — what the config bus actually
-/// carries, used to sanity-check the cycle model's write cost.
+/// carries, used to sanity-check the cycle model's write cost. An
+/// unencodable program reports zero bits (it can never be shipped).
 #[must_use]
 pub fn size_bits(prog: &AccelProgram) -> usize {
-    encode(prog).len() * 64
+    encode(prog).map_or(0, |words| words.len() * 64)
 }
 
 #[cfg(test)]
@@ -308,21 +316,21 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let prog = sample_program();
-        let words = encode(&prog);
+        let words = encode(&prog).unwrap();
         let back = decode(&words).expect("decodes");
         assert_eq!(back, prog);
     }
 
     #[test]
     fn magic_is_checked() {
-        let mut words = encode(&sample_program());
+        let mut words = encode(&sample_program()).unwrap();
         words[0] ^= 0xFF;
         assert!(matches!(decode(&words), Err(BitstreamError::BadMagic(_))));
     }
 
     #[test]
     fn truncation_is_detected() {
-        let words = encode(&sample_program());
+        let words = encode(&sample_program()).unwrap();
         for cut in [1, 4, 7, words.len() - 1] {
             assert_eq!(
                 decode(&words[..cut]),
@@ -335,7 +343,7 @@ mod tests {
     #[test]
     fn corrupt_instruction_is_detected() {
         let prog = sample_program();
-        let mut words = encode(&prog);
+        let mut words = encode(&prog).unwrap();
         // Node records start at word 5; word 6 holds instr|flags.
         words[6] = (words[6] & !0xFFFF_FFFF) | 0xFFFF_FFFF;
         assert!(matches!(decode(&words), Err(BitstreamError::BadInstruction(_))));

@@ -12,6 +12,7 @@
 //! iteration space; all tiles share the memory ports, which is what bends
 //! the PE-scaling curve of Fig. 15 once ports saturate.
 
+use crate::faults::{FaultLog, FaultPlan, BUS_DROP_PENALTY};
 use crate::{
     AccelConfig, AccelProgram, ActivityStats, Coord, HalfRingModel, LatencyModel, NodeConfig,
     Operand, PerfCounters, ProgramError,
@@ -21,7 +22,7 @@ use mesa_mem::MemorySystem;
 use mesa_trace::{NullTracer, Subsystem, Tracer};
 
 /// Extra cycles to replay a load invalidated by a conflicting store.
-const VIOLATION_REDO: u64 = 2;
+pub(crate) const VIOLATION_REDO: u64 = 2;
 
 /// Result of executing a configured region.
 #[derive(Debug, Clone)]
@@ -39,6 +40,8 @@ pub struct AccelRunResult {
     /// `true` when every tile's loop exited naturally (vs. hitting the
     /// iteration cap).
     pub completed: bool,
+    /// Engine-level fault events injected during this run.
+    pub faults: FaultLog,
 }
 
 impl AccelRunResult {
@@ -233,6 +236,10 @@ struct Fabric {
     lane_requests: Vec<u64>,
     /// Fallback-bus transfers issued.
     bus_requests: u64,
+    /// Fault injection: every N-th bus transfer drops its token (0 = off).
+    bus_drop_period: u64,
+    /// Bus tokens dropped so far.
+    bus_drops: u64,
 }
 
 impl Fabric {
@@ -252,11 +259,19 @@ impl Fabric {
         produced.max(floor)
     }
 
-    /// Books one fallback-bus slot; returns the transfer start time.
+    /// Books one fallback-bus slot; returns the transfer start time. Under
+    /// fault injection, every `bus_drop_period`-th transfer loses its
+    /// token and pays the retransmit penalty.
     fn book_bus(&mut self, produced: u64) -> u64 {
         let floor = self.bus_requests;
         self.bus_requests += 1;
-        produced.max(floor)
+        let start = produced.max(floor);
+        if self.bus_drop_period > 0 && self.bus_requests.is_multiple_of(self.bus_drop_period) {
+            self.bus_drops += 1;
+            start + BUS_DROP_PENALTY
+        } else {
+            start
+        }
     }
 }
 
@@ -301,6 +316,35 @@ impl SpatialAccelerator {
         self.execute_traced(prog, entry, mem, requester, max_iterations, &mut NullTracer, 0)
     }
 
+    /// [`execute`](Self::execute) with engine-level fault injection: the
+    /// plan's dropped-bus-token schedule is applied to the fallback bus
+    /// (timing-only; architectural results must not change) and the
+    /// resulting [`AccelRunResult::faults`] records what was injected.
+    ///
+    /// # Errors
+    /// Returns [`ProgramError`] if the program fails validation against
+    /// this accelerator's grid.
+    pub fn execute_faulted(
+        &self,
+        prog: &AccelProgram,
+        entry: &ArchState,
+        mem: &mut MemorySystem,
+        requester: usize,
+        max_iterations: u64,
+        faults: &FaultPlan,
+    ) -> Result<AccelRunResult, ProgramError> {
+        self.execute_faulted_traced(
+            prog,
+            entry,
+            mem,
+            requester,
+            max_iterations,
+            faults,
+            &mut NullTracer,
+            0,
+        )
+    }
+
     /// [`execute`](Self::execute) with tracing: wraps the run in an
     /// `accel.execute` span on the accelerator timeline starting at
     /// `cycle_base` (the controller's episode clock, since the engine's own
@@ -321,6 +365,36 @@ impl SpatialAccelerator {
         tracer: &mut dyn Tracer,
         cycle_base: u64,
     ) -> Result<AccelRunResult, ProgramError> {
+        self.execute_faulted_traced(
+            prog,
+            entry,
+            mem,
+            requester,
+            max_iterations,
+            &FaultPlan::none(),
+            tracer,
+            cycle_base,
+        )
+    }
+
+    /// [`execute_traced`](Self::execute_traced) with engine-level fault
+    /// injection (see [`execute_faulted`](Self::execute_faulted)).
+    ///
+    /// # Errors
+    /// Returns [`ProgramError`] if the program fails validation against
+    /// this accelerator's grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_faulted_traced(
+        &self,
+        prog: &AccelProgram,
+        entry: &ArchState,
+        mem: &mut MemorySystem,
+        requester: usize,
+        max_iterations: u64,
+        faults: &FaultPlan,
+        tracer: &mut dyn Tracer,
+        cycle_base: u64,
+    ) -> Result<AccelRunResult, ProgramError> {
         prog.validate(self.cfg.grid())?;
         tracer.span_begin(Subsystem::Accelerator, "accel.execute", cycle_base);
 
@@ -336,6 +410,8 @@ impl SpatialAccelerator {
             port_count: self.cfg.mem_ports.clamp(1, 1 << 20) as u64,
             lane_requests: vec![0; self.cfg.rows],
             bus_requests: 0,
+            bus_drop_period: faults.bus_drop_period,
+            bus_drops: 0,
         };
         let unlimited_ports = self.cfg.mem_ports >= usize::MAX / 2;
 
@@ -350,8 +426,10 @@ impl SpatialAccelerator {
                         if node.scale_imm_by_tiles {
                             if let Some(rd) = node.instr.dest() {
                                 let v = regs[rd.flat_index()];
-                                regs[rd.flat_index()] =
-                                    v.wrapping_add((t as i64 * node.instr.imm) as u64);
+                                // i128 keeps tile-count × immediate exact
+                                // before the architectural wrap to u64.
+                                regs[rd.flat_index()] = v
+                                    .wrapping_add((t as i128 * i128::from(node.instr.imm)) as u64);
                             }
                         }
                     }
@@ -446,6 +524,7 @@ impl SpatialAccelerator {
             activity,
             final_regs,
             completed,
+            faults: FaultLog { bus_tokens_dropped: fabric.bus_drops, ..FaultLog::default() },
         })
     }
 
@@ -719,8 +798,10 @@ impl SpatialAccelerator {
             if node.forwarded_from == Some(si as u32) {
                 continue; // already handled as a forward
             }
-            let overlap =
-                saddr < addr + u64::from(width) && addr < saddr + u64::from(swidth);
+            // u128 range ends: an access near u64::MAX must not wrap (a
+            // wild pointer is reachable from any malformed DFG).
+            let overlap = u128::from(saddr) < u128::from(addr) + u128::from(width)
+                && u128::from(addr) < u128::from(saddr) + u128::from(swidth);
             if overlap && scomplete > start {
                 activity.violations += 1;
                 complete = complete.max(scomplete + VIOLATION_REDO);
@@ -751,12 +832,14 @@ fn stage_eval_state(st: &mut ArchState, instr: &Instruction, v1: u64, v2: u64) {
 }
 
 /// Evaluates a conditional branch's direction with exact ISA semantics.
+/// A non-branch outcome can only come from a malformed configuration; it
+/// is treated as not-taken (fall through) rather than panicking mid-run.
 fn eval_branch(st: &mut ArchState, instr: &Instruction, v1: u64, v2: u64) -> bool {
     stage_eval_state(st, instr, v1, v2);
     let mut nomem = NoMemory;
     match step(st, instr, &mut nomem).outcome {
         Outcome::Branch { taken, .. } => taken,
-        other => unreachable!("branch evaluated to {other:?}"),
+        _ => false,
     }
 }
 
@@ -768,50 +851,16 @@ fn eval_compute(st: &mut ArchState, instr: &Instruction, v1: u64, v2: u64) -> u6
     instr.rd.map_or(0, |rd| st.read(rd))
 }
 
-/// Fresh-state branch evaluation — the pre-optimization implementation,
-/// kept as the oracle for the scratch-reuse equivalence property.
-#[cfg(test)]
-fn eval_branch_fresh(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> bool {
-    let mut st = ArchState::new(0, xlen);
-    let mut nomem = NoMemory;
-    if let Some(r) = instr.rs1 {
-        st.write(r, v1);
-    }
-    if let Some(r) = instr.rs2 {
-        st.write(r, v2);
-    }
-    match step(&mut st, instr, &mut nomem).outcome {
-        Outcome::Branch { taken, .. } => taken,
-        other => unreachable!("branch evaluated to {other:?}"),
-    }
-}
-
-/// Fresh-state compute evaluation — the pre-optimization implementation,
-/// kept as the oracle for the scratch-reuse equivalence property.
-#[cfg(test)]
-fn eval_compute_fresh(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> u64 {
-    let mut st = ArchState::new(0, xlen);
-    let mut nomem = NoMemory;
-    if let Some(r) = instr.rs1 {
-        st.write(r, v1);
-    }
-    if let Some(r) = instr.rs2 {
-        st.write(r, v2);
-    }
-    step(&mut st, instr, &mut nomem);
-    instr.rd.map_or(0, |rd| st.read(rd))
-}
-
-/// Memory stub for pure compute evaluation; PEs never touch memory.
+/// Memory stub for pure compute evaluation; PEs never touch memory. A
+/// misclassified node (only reachable through a malformed configuration)
+/// reads zeros and discards stores instead of panicking mid-run.
 struct NoMemory;
 
 impl MemoryIo for NoMemory {
     fn load(&mut self, _addr: u64, _width: u8) -> u64 {
-        unreachable!("compute nodes must not access memory")
+        0
     }
-    fn store(&mut self, _addr: u64, _width: u8, _value: u64) {
-        unreachable!("compute nodes must not access memory")
-    }
+    fn store(&mut self, _addr: u64, _width: u8, _value: u64) {}
 }
 
 #[cfg(test)]
@@ -820,6 +869,38 @@ mod tests {
     use mesa_isa::{Opcode};
     use mesa_isa::reg::abi::*;
     use mesa_mem::MemConfig;
+
+    /// Fresh-state branch evaluation — the pre-optimization implementation,
+    /// kept as the oracle for the scratch-reuse equivalence property.
+    fn eval_branch_fresh(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> bool {
+        let mut st = ArchState::new(0, xlen);
+        let mut nomem = NoMemory;
+        if let Some(r) = instr.rs1 {
+            st.write(r, v1);
+        }
+        if let Some(r) = instr.rs2 {
+            st.write(r, v2);
+        }
+        match step(&mut st, instr, &mut nomem).outcome {
+            Outcome::Branch { taken, .. } => taken,
+            other => unreachable!("branch evaluated to {other:?}"),
+        }
+    }
+
+    /// Fresh-state compute evaluation — the pre-optimization implementation,
+    /// kept as the oracle for the scratch-reuse equivalence property.
+    fn eval_compute_fresh(instr: &Instruction, v1: u64, v2: u64, xlen: Xlen) -> u64 {
+        let mut st = ArchState::new(0, xlen);
+        let mut nomem = NoMemory;
+        if let Some(r) = instr.rs1 {
+            st.write(r, v1);
+        }
+        if let Some(r) = instr.rs2 {
+            st.write(r, v2);
+        }
+        step(&mut st, instr, &mut nomem);
+        instr.rd.map_or(0, |rd| st.read(rd))
+    }
 
     fn node(pc: u64, instr: Instruction, coord: (usize, usize), inputs: [Operand; 2]) -> NodeConfig {
         NodeConfig::new(pc, instr, Some(Coord::new(coord.0, coord.1)), inputs)

@@ -1,0 +1,270 @@
+//! Deterministic, seed-replayable fault injection.
+//!
+//! MESA's feedback loop (paper §4.4) trusts hardware state that a real
+//! fabric can corrupt: per-PE latency counters feeding re-optimization, bus
+//! tokens carrying operand transfers, the PEs themselves, and the
+//! configuration stream the controller ships over the config bus. A
+//! [`FaultPlan`] describes one deterministic corruption scenario for those
+//! four channels; every decision it makes derives from its `seed` via the
+//! in-repo PRNG, so any failure a soak run finds replays exactly from the
+//! printed seed.
+//!
+//! The taxonomy and its recovery contract:
+//!
+//! * **Dropped bus tokens** (`bus_drop_period`): every N-th fallback-bus
+//!   transfer loses its token and pays [`BUS_DROP_PENALTY`] retransmit
+//!   cycles. Timing-only — architectural results must not change, and the
+//!   engine and reference interpreter must agree on the delayed schedule.
+//! * **Stuck PEs** (`stuck_pes`): nodes configured on a dead coordinate are
+//!   scrubbed to unplaced, so their transfers fall back to the bus —
+//!   correct but slower, which the re-optimization rounds then observe.
+//! * **Flipped counter bits** (`counter_bit_flips`): latency counters
+//!   reported to F3 are corrupted before `apply_counters`; the optimizer
+//!   clamps measured weights, so a wild counter can skew one round of
+//!   placement but never panics the simulator or steers it forever.
+//! * **Truncated config stream** (`truncate_config`): the encoded
+//!   bitstream is cut short; the decoder detects it and the controller
+//!   declines the offload with a typed error and falls back to the CPU.
+
+use crate::bitstream::{self, BitstreamError};
+use crate::{AccelProgram, Coord, PerfCounters};
+use mesa_test::Rng;
+
+/// Retransmit cost, in cycles, of a dropped fallback-bus token.
+pub const BUS_DROP_PENALTY: u64 = 4;
+
+/// One deterministic fault scenario. See the module docs for the taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed all randomized corruption derives from (replay key).
+    pub seed: u64,
+    /// Dead PE coordinates; nodes configured on them are scrubbed to
+    /// unplaced (tile-0 coordinates, applied before tiling replication).
+    pub stuck_pes: Vec<Coord>,
+    /// Latency-counter bits to flip per re-optimization round (0 = off).
+    pub counter_bit_flips: u32,
+    /// Every N-th fallback-bus transfer drops its token (0 = off).
+    pub bus_drop_period: u64,
+    /// Cut the encoded config stream to this many words (None = intact).
+    pub truncate_config: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default everywhere).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` when this plan injects no faults at all.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.stuck_pes.is_empty()
+            && self.counter_bit_flips == 0
+            && self.bus_drop_period == 0
+            && self.truncate_config.is_none()
+    }
+
+    /// Draws a random fault mix for a `rows` × `cols` grid. Each fault
+    /// class is sampled independently, so plans range from benign to
+    /// multi-fault; the same `(seed, rows, cols)` always yields the same
+    /// plan.
+    #[must_use]
+    pub fn from_seed(seed: u64, rows: usize, cols: usize) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan { seed, ..FaultPlan::default() };
+        if rng.gen_bool(0.35) {
+            for _ in 0..rng.gen_range(1usize..=2) {
+                plan.stuck_pes
+                    .push(Coord::new(rng.gen_range(0..rows.max(1)), rng.gen_range(0..cols.max(1))));
+            }
+        }
+        if rng.gen_bool(0.4) {
+            plan.counter_bit_flips = rng.gen_range(1u32..=4);
+        }
+        if rng.gen_bool(0.4) {
+            plan.bus_drop_period = rng.gen_range(2u64..=16);
+        }
+        if rng.gen_bool(0.15) {
+            plan.truncate_config = Some(rng.gen_range(1usize..48));
+        }
+        plan
+    }
+
+    /// Unplaces every node configured on a stuck PE; returns how many were
+    /// scrubbed. An unplaced node's transfers take the fallback bus, so
+    /// the program stays architecturally correct, just slower.
+    pub fn scrub_stuck_pes(&self, prog: &mut AccelProgram) -> u64 {
+        if self.stuck_pes.is_empty() {
+            return 0;
+        }
+        let mut scrubbed = 0;
+        for node in &mut prog.nodes {
+            if node.coord.is_some_and(|c| self.stuck_pes.contains(&c)) {
+                node.coord = None;
+                scrubbed += 1;
+            }
+        }
+        scrubbed
+    }
+
+    /// Flips `counter_bit_flips` bits across the latency fields of a
+    /// reported counter bank, deterministically per `(seed, round)`.
+    /// Returns how many bits were flipped.
+    pub fn corrupt_counters(&self, counters: &mut PerfCounters, round: u64) -> u64 {
+        if self.counter_bit_flips == 0 || counters.nodes.is_empty() {
+            return 0;
+        }
+        let mut rng =
+            Rng::seed_from_u64(self.seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF1A7);
+        for _ in 0..self.counter_bit_flips {
+            let node = rng.gen_range(0..counters.nodes.len());
+            let bit = 1u64 << rng.gen_range(0u64..44);
+            let ctr = &mut counters.nodes[node];
+            match rng.gen_range(0u32..3) {
+                0 => ctr.total_op_cycles ^= bit,
+                1 => ctr.total_in_cycles[0] ^= bit,
+                _ => ctr.total_in_cycles[1] ^= bit,
+            }
+        }
+        u64::from(self.counter_bit_flips)
+    }
+
+    /// Simulates shipping the program over the config bus with this plan's
+    /// truncation applied: encode, cut the word stream, re-decode.
+    ///
+    /// # Errors
+    /// Returns the decoder's [`BitstreamError`] when the truncated stream
+    /// no longer parses (the expected outcome); `Ok(())` when the plan
+    /// does not truncate or the cut lands past the end of the stream.
+    pub fn check_config_stream(&self, prog: &AccelProgram) -> Result<(), BitstreamError> {
+        let Some(cut) = self.truncate_config else { return Ok(()) };
+        let words = bitstream::encode(prog)?;
+        if cut >= words.len() {
+            return Ok(());
+        }
+        bitstream::decode(&words[..cut]).map(|_| ())
+    }
+}
+
+/// What a fault plan actually did during a run — carried on
+/// [`crate::AccelRunResult`] and accumulated per offload episode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Fallback-bus transfers that lost their token and paid the
+    /// retransmit penalty.
+    pub bus_tokens_dropped: u64,
+    /// Latency-counter bits flipped before re-optimization.
+    pub counter_bits_flipped: u64,
+    /// Nodes unplaced because their PE was stuck.
+    pub stuck_pes_scrubbed: u64,
+    /// Config streams that arrived truncated (and were declined).
+    pub config_truncations: u64,
+}
+
+impl FaultLog {
+    /// Accumulates another log into this one.
+    pub fn merge(&mut self, other: &FaultLog) {
+        self.bus_tokens_dropped += other.bus_tokens_dropped;
+        self.counter_bits_flipped += other.counter_bits_flipped;
+        self.stuck_pes_scrubbed += other.stuck_pes_scrubbed;
+        self.config_truncations += other.config_truncations;
+    }
+
+    /// Total injected-fault events of any class.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bus_tokens_dropped
+            + self.counter_bits_flipped
+            + self.stuck_pes_scrubbed
+            + self.config_truncations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeConfig, Operand};
+    use mesa_isa::reg::abi::*;
+    use mesa_isa::{Instruction, Opcode};
+
+    fn two_node_loop() -> AccelProgram {
+        let add = NodeConfig::new(
+            0x1000,
+            Instruction::reg_imm(Opcode::Addi, T0, T0, 1),
+            Some(Coord::new(0, 0)),
+            [Operand::Node { idx: 0, carried: true, via: T0 }, Operand::None],
+        );
+        let bne = NodeConfig::new(
+            0x1004,
+            Instruction::branch(Opcode::Bne, T0, A1, -4),
+            Some(Coord::new(0, 1)),
+            [Operand::Node { idx: 0, carried: false, via: T0 }, Operand::InitReg(A1)],
+        );
+        AccelProgram {
+            start_pc: 0x1000,
+            end_pc: 0x1008,
+            nodes: vec![add, bne],
+            loop_branch: 1,
+            live_out: vec![(T0, 0)],
+            tiles: 1,
+            pipelined: false,
+        }
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let a = FaultPlan::from_seed(42, 16, 8);
+        let b = FaultPlan::from_seed(42, 16, 8);
+        assert_eq!(a, b);
+        assert!(FaultPlan::none().is_benign());
+    }
+
+    #[test]
+    fn some_seed_produces_each_fault_class() {
+        let (mut stuck, mut flips, mut drops, mut cuts) = (false, false, false, false);
+        for seed in 0..256 {
+            let p = FaultPlan::from_seed(seed, 16, 8);
+            stuck |= !p.stuck_pes.is_empty();
+            flips |= p.counter_bit_flips > 0;
+            drops |= p.bus_drop_period > 0;
+            cuts |= p.truncate_config.is_some();
+        }
+        assert!(stuck && flips && drops && cuts, "coverage: {stuck} {flips} {drops} {cuts}");
+    }
+
+    #[test]
+    fn scrub_unplaces_only_stuck_coords() {
+        let mut prog = two_node_loop();
+        let plan = FaultPlan { stuck_pes: vec![Coord::new(0, 0)], ..FaultPlan::default() };
+        assert_eq!(plan.scrub_stuck_pes(&mut prog), 1);
+        assert_eq!(prog.nodes[0].coord, None);
+        assert_eq!(prog.nodes[1].coord, Some(Coord::new(0, 1)));
+        // Scrubbed programs still validate: unplaced is a legal state.
+        assert!(prog.validate(crate::GridDim::new(16, 8)).is_ok());
+    }
+
+    #[test]
+    fn counter_corruption_is_replayable() {
+        let plan = FaultPlan { seed: 7, counter_bit_flips: 3, ..FaultPlan::default() };
+        let mut a = PerfCounters::new(4);
+        let mut b = PerfCounters::new(4);
+        assert_eq!(plan.corrupt_counters(&mut a, 1), 3);
+        assert_eq!(plan.corrupt_counters(&mut b, 1), 3);
+        assert_eq!(a, b);
+        // A different round corrupts differently.
+        let mut c = PerfCounters::new(4);
+        plan.corrupt_counters(&mut c, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn truncated_stream_is_detected_and_intact_stream_passes() {
+        let prog = two_node_loop();
+        let cut = FaultPlan { truncate_config: Some(3), ..FaultPlan::default() };
+        assert_eq!(cut.check_config_stream(&prog), Err(BitstreamError::Truncated));
+        let beyond = FaultPlan { truncate_config: Some(10_000), ..FaultPlan::default() };
+        assert_eq!(beyond.check_config_stream(&prog), Ok(()));
+        assert_eq!(FaultPlan::none().check_config_stream(&prog), Ok(()));
+    }
+}

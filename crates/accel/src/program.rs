@@ -141,6 +141,8 @@ pub enum ProgramError {
         /// Rows available.
         rows: usize,
     },
+    /// A guard index names a node that is not a forward branch.
+    GuardNotBranch(u32),
     /// Region is empty.
     Empty,
 }
@@ -159,6 +161,9 @@ impl fmt::Display for ProgramError {
                 f,
                 "{tiles} tiles x {rows_per_tile} rows do not fit in {rows} grid rows"
             ),
+            ProgramError::GuardNotBranch(g) => {
+                write!(f, "guard node {g} is not a forward branch")
+            }
             ProgramError::Empty => write!(f, "empty region"),
         }
     }
@@ -224,6 +229,9 @@ impl AccelProgram {
                 check_idx(g)?;
                 if g >= ci {
                     return Err(ProgramError::ForwardReference { consumer: ci, producer: g });
+                }
+                if !self.nodes[g as usize].instr.op.is_branch() {
+                    return Err(ProgramError::GuardNotBranch(g));
                 }
             }
             if let Some(s) = node.forwarded_from {
@@ -361,6 +369,17 @@ mod tests {
     fn rows_per_tile_rounds_to_fp_period() {
         let p = minimal_loop(); // max row 0 → 1 → rounds to 4
         assert_eq!(p.rows_per_tile(), 4);
+    }
+
+    #[test]
+    fn non_branch_guard_rejected() {
+        let mut p = minimal_loop();
+        // Guard the loop branch with the addi node — not a branch.
+        p.nodes[1].guards = vec![0];
+        assert_eq!(
+            p.validate(GridDim::new(16, 8)),
+            Err(ProgramError::GuardNotBranch(0))
+        );
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Differential property tests: random hand-built kernels run through the
+//! optimized engine and the straight-line reference interpreter must
+//! produce identical architectural results, iteration counts, cycle
+//! totals, activity statistics, and latency-counter readings — with and
+//! without injected timing faults, across every grid preset.
+
+use mesa_accel::{
+    run_differential, AccelConfig, AccelProgram, Coord, FaultPlan, NodeConfig, Operand,
+    SpatialAccelerator,
+};
+use mesa_isa::reg::abi::*;
+use mesa_isa::{ArchState, Instruction, Opcode, Xlen};
+use mesa_mem::{MemConfig, MemorySystem};
+use mesa_test::{forall, prop_assert, Checker, Rng};
+
+/// Persisted counterexample seeds, replayed before novel cases (the file
+/// is created on the first failure).
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/differential_proptest.proptest-regressions");
+
+fn checker(name: &str, cases: u32) -> Checker {
+    Checker::new(name).cases(cases).regressions_file(REGRESSIONS)
+}
+
+const ARR_A: u64 = 0x10_0000;
+const ARR_OUT: u64 = 0x20_0000;
+
+/// Builds a random but valid kernel: an address induction, an optional
+/// (sometimes prefetched) load, a random-depth dependence chain with a
+/// carried accumulator, an optional forward-branch-guarded update, an
+/// optional store, and the counter induction + closing branch. Placement
+/// is randomized over the first four grid rows and nodes are sometimes
+/// left unplaced (fallback bus).
+fn random_program(seed: u64, grid_cols: usize) -> AccelProgram {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeConfig> = Vec::new();
+    let coord = |rng: &mut Rng| {
+        rng.gen_bool(0.85)
+            .then(|| Coord::new(rng.gen_range(0..4), rng.gen_range(0..grid_cols)))
+    };
+    let pc = |idx: usize| 0x1000 + 4 * idx as u64;
+
+    // node 0: address induction a0 += 4 (carried self).
+    let a0_idx = nodes.len() as u32;
+    let c = coord(&mut rng);
+    nodes.push(NodeConfig::new(
+        pc(0),
+        Instruction::reg_imm(Opcode::Addi, A0, A0, 4),
+        c,
+        [Operand::Node { idx: a0_idx, carried: true, via: A0 }, Operand::None],
+    ));
+
+    // Optional load from the previous iteration's address.
+    let load_idx = if rng.gen_bool(0.7) {
+        let idx = nodes.len();
+        let mut n = NodeConfig::new(
+            pc(idx),
+            Instruction::load(Opcode::Lw, T3, A0, 0),
+            coord(&mut rng),
+            [Operand::Node { idx: a0_idx, carried: true, via: A0 }, Operand::None],
+        );
+        n.prefetched = rng.gen_bool(0.4);
+        nodes.push(n);
+        Some(idx as u32)
+    } else {
+        None
+    };
+
+    // Carried accumulator seed: t1 += 3.
+    let acc_idx = nodes.len() as u32;
+    let c = coord(&mut rng);
+    nodes.push(NodeConfig::new(
+        pc(acc_idx as usize),
+        Instruction::reg_imm(Opcode::Addi, T1, T1, 3),
+        c,
+        [Operand::Node { idx: acc_idx, carried: true, via: T1 }, Operand::None],
+    ));
+
+    // Random-depth chain mixing immediates and two-operand ALU ops whose
+    // sources are random earlier nodes.
+    let mut chain_end = acc_idx;
+    let mut producers = vec![acc_idx];
+    if let Some(l) = load_idx {
+        producers.push(l);
+    }
+    for _ in 0..rng.gen_range(1usize..=8) {
+        let idx = nodes.len() as u32;
+        let s1 = producers[rng.gen_range(0..producers.len())];
+        let instr = match rng.gen_range(0..5) {
+            0 => Instruction::reg_imm(Opcode::Addi, T1, T1, rng.gen_range(-64i64..64)),
+            1 => Instruction::reg3(Opcode::Add, T1, T1, T2),
+            2 => Instruction::reg3(Opcode::Xor, T1, T1, T2),
+            3 => Instruction::reg3(Opcode::Sub, T1, T1, T2),
+            _ => Instruction::reg_imm(Opcode::Slli, T1, T1, rng.gen_range(0i64..8)),
+        };
+        let s2 = if instr.rs2.is_some() {
+            Operand::Node {
+                idx: producers[rng.gen_range(0..producers.len())],
+                carried: false,
+                via: T2,
+            }
+        } else {
+            Operand::None
+        };
+        nodes.push(NodeConfig::new(
+            pc(idx as usize),
+            instr,
+            coord(&mut rng),
+            [Operand::Node { idx: s1, carried: false, via: T1 }, s2],
+        ));
+        producers.push(idx);
+        chain_end = idx;
+    }
+
+    // Optional predicated update guarded by a forward branch.
+    if rng.gen_bool(0.5) {
+        let br = nodes.len() as u32;
+        nodes.push(NodeConfig::new(
+            pc(br as usize),
+            Instruction::branch(Opcode::Bge, T1, T2, 8),
+            coord(&mut rng),
+            [
+                Operand::Node { idx: chain_end, carried: false, via: T1 },
+                Operand::InitReg(T2),
+            ],
+        ));
+        let g = nodes.len() as u32;
+        let mut guarded = NodeConfig::new(
+            pc(g as usize),
+            Instruction::reg_imm(Opcode::Addi, T5, T5, 3),
+            coord(&mut rng),
+            [Operand::Node { idx: g, carried: true, via: T5 }, Operand::None],
+        );
+        guarded.hidden = Operand::Node { idx: g, carried: true, via: T5 };
+        guarded.guards = vec![br];
+        nodes.push(guarded);
+    }
+
+    // Optional store of the chain value.
+    if rng.gen_bool(0.7) {
+        let s = nodes.len() as u32;
+        nodes.push(NodeConfig::new(
+            pc(s as usize),
+            Instruction::store(Opcode::Sw, T1, A4, 0),
+            coord(&mut rng),
+            [
+                Operand::Node { idx: s + 1, carried: true, via: A4 },
+                Operand::Node { idx: chain_end, carried: false, via: T1 },
+            ],
+        ));
+        let a4 = nodes.len() as u32;
+        nodes.push(NodeConfig::new(
+            pc(a4 as usize),
+            Instruction::reg_imm(Opcode::Addi, A4, A4, 4),
+            coord(&mut rng),
+            [Operand::Node { idx: a4, carried: true, via: A4 }, Operand::None],
+        ));
+    }
+
+    // Counter induction + closing backward branch.
+    let cnt = nodes.len() as u32;
+    nodes.push(NodeConfig::new(
+        pc(cnt as usize),
+        Instruction::reg_imm(Opcode::Addi, A2, A2, 1),
+        coord(&mut rng),
+        [Operand::Node { idx: cnt, carried: true, via: A2 }, Operand::None],
+    ));
+    let br = nodes.len() as u32;
+    nodes.push(NodeConfig::new(
+        pc(br as usize),
+        Instruction::branch(Opcode::Bltu, A2, A1, -(4 * i64::from(br))),
+        coord(&mut rng),
+        [Operand::Node { idx: cnt, carried: false, via: A2 }, Operand::InitReg(A1)],
+    ));
+
+    AccelProgram {
+        start_pc: 0x1000,
+        end_pc: 0x1000 + 4 * nodes.len() as u64,
+        nodes,
+        loop_branch: br,
+        live_out: vec![(T1, chain_end), (A2, cnt)],
+        tiles: 1,
+        pipelined: rng.gen_bool(0.4),
+    }
+}
+
+fn entry_and_mem(seed: u64, bound: u64) -> (ArchState, MemorySystem) {
+    let mut rng = Rng::seed_from_u64(seed ^ 0xE17);
+    let mut entry = ArchState::new(0x1000, Xlen::Rv32);
+    for r in [T1, T2, T3, T5] {
+        entry.write(r, u64::from(rng.gen::<u32>() % 1000));
+    }
+    entry.write(A0, ARR_A);
+    entry.write(A1, bound);
+    entry.write(A4, ARR_OUT);
+    let mut mem = MemorySystem::new(MemConfig::default(), 1);
+    for i in 0..=bound {
+        mem.data_mut().store_u32(ARR_A + 4 * i, rng.gen::<u32>() % 10_000);
+    }
+    (entry, mem)
+}
+
+fn grid_for(pick: u64) -> AccelConfig {
+    match pick % 3 {
+        0 => AccelConfig::m64(),
+        1 => AccelConfig::m128(),
+        _ => AccelConfig::m512(),
+    }
+}
+
+fn assert_agreement(seed: u64, bound: u64, cfg: AccelConfig, faults: &FaultPlan) -> Result<(), String> {
+    let prog = random_program(seed, cfg.grid().cols);
+    if prog.validate(cfg.grid()).is_err() {
+        return Ok(()); // untranslatable draw; skip
+    }
+    let accel = SpatialAccelerator::new(cfg);
+    let (entry, mem) = entry_and_mem(seed, bound);
+    match run_differential(&accel, &prog, &entry, &mem, 0, 100_000, faults) {
+        Err(e) => Err(format!("seed {seed}: rejected: {e}")),
+        Ok(Some(d)) => Err(format!("seed {seed}: {d}")),
+        Ok(None) => Ok(()),
+    }
+}
+
+/// The headline differential property (≥100 random kernel/grid cases).
+#[test]
+fn engines_agree_on_random_kernels() {
+    forall!(checker("differential::engines_agree_on_random_kernels", 120), |(seed in 0u64..1_000_000, bound in 1u64..120, grid in 0u64..3)| {
+        let outcome = assert_agreement(seed, bound, grid_for(grid), &FaultPlan::none());
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    });
+}
+
+#[test]
+fn engines_agree_under_injected_timing_faults() {
+    forall!(checker("differential::engines_agree_under_injected_timing_faults", 60), |(seed in 0u64..1_000_000, bound in 1u64..80, grid in 0u64..3, drop in 2u64..10)| {
+        let faults = FaultPlan { bus_drop_period: drop, ..FaultPlan::none() };
+        let outcome = assert_agreement(seed, bound, grid_for(grid), &faults);
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    });
+}
+
+/// Same kernel, every grid preset: the reference must track the engine on
+/// all of them (routing latencies differ per grid, results must not).
+#[test]
+fn engines_agree_across_all_grids_for_one_kernel() {
+    forall!(checker("differential::engines_agree_across_all_grids", 24), |(seed in 0u64..1_000_000, bound in 1u64..60)| {
+        for pick in 0..3u64 {
+            let outcome = assert_agreement(seed, bound, grid_for(pick), &FaultPlan::none());
+            prop_assert!(outcome.is_ok(), "grid {}: {}", pick, outcome.unwrap_err());
+        }
+    });
+}

@@ -15,8 +15,8 @@ use crate::{
     DetectConfig, DetectedRegion, ImapTiming, MapperConfig, OptFlags, RejectReason, ReoptRound,
 };
 use mesa_accel::{
-    AccelConfig, AccelProgram, ActivityStats, Coord, PerfCounters, ProgramError,
-    SpatialAccelerator,
+    AccelConfig, AccelProgram, ActivityStats, BitstreamError, Coord, FaultLog, FaultPlan,
+    PerfCounters, ProgramError, SpatialAccelerator,
 };
 use mesa_cpu::{
     CoreConfig, LoopStreamDetector, OoOCore, PipelineStats, RetireEvent, RetireMonitor,
@@ -105,6 +105,9 @@ pub enum MesaError {
     /// The memory system must expose at least two requester ports (CPU and
     /// accelerator).
     NeedTwoRequesters,
+    /// The configuration stream arrived truncated or corrupted at the
+    /// accelerator; the region is blacklisted and finishes on the CPU.
+    ConfigStream(BitstreamError),
 }
 
 impl fmt::Display for MesaError {
@@ -118,6 +121,9 @@ impl fmt::Display for MesaError {
             MesaError::Accel(e) => write!(f, "configuration invalid: {e}"),
             MesaError::NeedTwoRequesters => {
                 write!(f, "memory system needs requester ports for both CPU and accelerator")
+            }
+            MesaError::ConfigStream(e) => {
+                write!(f, "configuration stream rejected by the accelerator: {e}")
             }
         }
     }
@@ -188,6 +194,8 @@ pub struct OffloadReport {
     pub activity: ActivityStats,
     /// Final performance counters.
     pub counters: PerfCounters,
+    /// Injected-fault events observed (and survived) during the episode.
+    pub faults: FaultLog,
 }
 
 impl OffloadReport {
@@ -236,6 +244,10 @@ impl OffloadReport {
         self.cpu_pipeline.record_metrics(reg, "offload.cpu_pipeline");
         self.activity.record_metrics(reg, "offload.activity");
         self.counters.record_metrics(reg, "offload.feedback");
+        reg.add("offload.fault.bus_tokens_dropped", self.faults.bus_tokens_dropped);
+        reg.add("offload.fault.counter_bits_flipped", self.faults.counter_bits_flipped);
+        reg.add("offload.fault.stuck_pes_scrubbed", self.faults.stuck_pes_scrubbed);
+        reg.add("offload.fault.config_truncations", self.faults.config_truncations);
     }
 }
 
@@ -324,6 +336,8 @@ pub struct MesaController {
     /// later episode and refills with identical words, its decoded
     /// [`Program`] is served from the cache instead of re-decoding.
     trace_cache: TraceCache,
+    /// Armed fault-injection plan; applied to every subsequent episode.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl MesaController {
@@ -338,7 +352,23 @@ impl MesaController {
             cache: ConfigCache::new(),
             blacklist: std::collections::HashSet::new(),
             trace_cache,
+            fault_plan: None,
         }
+    }
+
+    /// Arms (or disarms, with `None`) deterministic fault injection: every
+    /// subsequent offload episode scrubs the plan's stuck PEs, verifies
+    /// the configuration stream against truncation, drops bus tokens, and
+    /// corrupts latency counters before each F3 round — all seeded, so a
+    /// failing episode replays exactly from its plan.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The armed fault-injection plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The system configuration.
@@ -556,7 +586,7 @@ impl MesaController {
         // ---- F2: map and configure (or reuse a cached configuration) ----
         let cached = self.cache.get(hot.start_pc, hot.end_pc).cloned();
         let from_cache = cached.is_some();
-        let (accel_prog, initial_estimate, config) = match cached {
+        let (mut accel_prog, initial_estimate, config) = match cached {
             Some(prog) => {
                 // Re-encountered loop: skip LDFG/map, pay only the write.
                 let lat = ConfigLatency {
@@ -601,6 +631,42 @@ impl MesaController {
                 (prog, est, lat)
             }
         };
+        // ---- injected configuration-time faults (if a plan is armed) ----
+        let fault_plan = self.fault_plan.clone().unwrap_or_default();
+        let mut fault_log = FaultLog::default();
+        if !fault_plan.is_benign() {
+            // Stuck PEs: nodes placed on a dead coordinate are scrubbed off
+            // the grid and take the fallback bus — slower, never wrong.
+            let scrubbed = fault_plan.scrub_stuck_pes(&mut accel_prog);
+            if scrubbed > 0 {
+                fault_log.stuck_pes_scrubbed += scrubbed;
+                if tracer.enabled() {
+                    tracer.instant(
+                        Subsystem::Fault,
+                        "stuck_pe_scrub",
+                        &format!("{scrubbed} node(s) moved off stuck PEs to the fallback bus"),
+                        warmup_cycles,
+                    );
+                }
+            }
+            // Truncated config stream: the accelerator rejects the write,
+            // the region is blacklisted, and the loop finishes on the CPU.
+            if let Err(e) = fault_plan.check_config_stream(&accel_prog) {
+                self.blacklist.insert((hot.start_pc, hot.end_pc));
+                if tracer.enabled() {
+                    tracer.instant(
+                        Subsystem::Fault,
+                        "config_truncated",
+                        &format!(
+                            "region [{:#x},{:#x}) config stream rejected: {e}",
+                            hot.start_pc, hot.end_pc
+                        ),
+                        warmup_cycles,
+                    );
+                }
+                return Err(MesaError::ConfigStream(e));
+            }
+        }
         let unmapped_nodes = accel_prog.nodes.iter().filter(|n| n.coord.is_none()).count();
 
         // Configuration spans: the breakdown is known analytically, so the
@@ -709,12 +775,13 @@ impl MesaController {
             } else {
                 self.system.max_accel_iterations
             };
-            let r = match self.accel.execute_traced(
+            let r = match self.accel.execute_faulted_traced(
                 &current,
                 state,
                 mem,
                 ACCEL,
                 budget,
+                &fault_plan,
                 tracer,
                 now,
             ) {
@@ -730,6 +797,7 @@ impl MesaController {
             accel_iterations += r.iterations;
             merge_activity(&mut activity, &r.activity);
             merge_counters(&mut counters, &r.counters);
+            fault_log.merge(&r.faults);
 
             // Write live-outs back (induction registers analytically under
             // tiling, where per-tile interleaving makes the engine's last
@@ -746,7 +814,27 @@ impl MesaController {
             // ---- F3: iterative optimization ----
             tracer.span_begin(Subsystem::Controller, "reoptimize", now);
             let critical_path_before = ldfg.critical_path().1;
-            apply_counters(&mut ldfg, &r.counters);
+            // Counter corruption: bit-flips land on the measured latencies
+            // the optimizer consumes; `apply_counters` clamps them so one
+            // corrupted sample cannot steer placement forever.
+            let mut measured_counters = r.counters.clone();
+            if fault_plan.counter_bit_flips > 0 {
+                let flipped = fault_plan
+                    .corrupt_counters(&mut measured_counters, reopt_rounds.len() as u64);
+                fault_log.counter_bits_flipped += flipped;
+                if tracer.enabled() {
+                    tracer.instant(
+                        Subsystem::Fault,
+                        "counter_corruption",
+                        &format!(
+                            "{flipped} latency-counter bit(s) flipped before round {}",
+                            reopt_rounds.len()
+                        ),
+                        now,
+                    );
+                }
+            }
+            apply_counters(&mut ldfg, &measured_counters);
             let critical_path_after = ldfg.critical_path().1;
             let measured = (r.cycles / r.iterations.max(1)).max(1);
             if tracer.enabled() {
@@ -857,6 +945,7 @@ impl MesaController {
             reopt_rounds,
             activity,
             counters,
+            faults: fault_log,
         })
     }
 
@@ -905,6 +994,12 @@ impl MesaController {
                     report.rejections.push(reason);
                     // The warmup already advanced the CPU; keep going.
                 }
+                Err(MesaError::ConfigStream(_)) => {
+                    // The region was blacklisted when the corrupted stream
+                    // was rejected; the loop finishes on the CPU and
+                    // monitoring moves on to other regions.
+                    report.config_declines += 1;
+                }
                 Err(_) => break, // NoLoopDetected / halt / exhausted
             }
             if report.cpu_instrs >= max_cpu_instrs {
@@ -939,6 +1034,9 @@ pub struct ProgramRunReport {
     pub offloads: Vec<OffloadReport>,
     /// Reasons for regions that were detected but rejected.
     pub rejections: Vec<RejectReason>,
+    /// Episodes declined because the configuration stream arrived
+    /// truncated or corrupt (the region finished on the CPU).
+    pub config_declines: u64,
     /// Total cycles across CPU and accelerator phases.
     pub total_cycles: u64,
     /// Instructions the CPU retired (monitoring, config overlap, glue).
@@ -978,11 +1076,17 @@ fn apply_live_outs(
             .map(|&(_, n)| n);
         if prog.tiles > 1 {
             if let Some(n) = producer {
-                if induction.contains(&n) {
-                    let step = ldfg.nodes[n as usize].instr.imm;
-                    let init = state.read(reg);
-                    state.write(reg, init.wrapping_add((iterations as i64 * step) as u64));
-                    continue;
+                // The producer index comes from the (possibly corrupted)
+                // configuration; a missing node falls through to the
+                // engine-reported value instead of indexing out of range.
+                if let Some(node) = ldfg.nodes.get(n as usize) {
+                    if induction.contains(&n) {
+                        let step = node.instr.imm;
+                        let init = state.read(reg);
+                        let delta = (i128::from(iterations) * i128::from(step)) as u64;
+                        state.write(reg, init.wrapping_add(delta));
+                        continue;
+                    }
                 }
             }
         }
@@ -1047,6 +1151,42 @@ pub fn run_offload_traced(
     tracer: &mut dyn Tracer,
 ) -> Result<OffloadReport, MesaError> {
     let mut controller = MesaController::new(system.clone());
+    let mut cpu = OoOCore::new(system.core);
+    controller.offload_traced(program, state, mem, &mut cpu, tracer)
+}
+
+/// [`run_offload`] under an armed fault-injection plan: the episode either
+/// completes with correct architectural results (recovering from injected
+/// faults) or declines with a typed [`MesaError`] — it never panics.
+///
+/// # Errors
+/// Propagates [`MesaController::offload`] errors, including
+/// [`MesaError::ConfigStream`] when the plan truncates the bitstream.
+pub fn run_offload_faulted(
+    program: &Program,
+    state: &mut ArchState,
+    mem: &mut MemorySystem,
+    system: &SystemConfig,
+    plan: &FaultPlan,
+) -> Result<OffloadReport, MesaError> {
+    run_offload_faulted_traced(program, state, mem, system, plan, &mut NullTracer)
+}
+
+/// [`run_offload_faulted`] with tracing: injected faults surface as
+/// instants on the `fault` subsystem timeline.
+///
+/// # Errors
+/// Propagates [`MesaController::offload`] errors.
+pub fn run_offload_faulted_traced(
+    program: &Program,
+    state: &mut ArchState,
+    mem: &mut MemorySystem,
+    system: &SystemConfig,
+    plan: &FaultPlan,
+    tracer: &mut dyn Tracer,
+) -> Result<OffloadReport, MesaError> {
+    let mut controller = MesaController::new(system.clone());
+    controller.set_fault_plan(Some(plan.clone()));
     let mut cpu = OoOCore::new(system.core);
     controller.offload_traced(program, state, mem, &mut cpu, tracer)
 }
@@ -1326,6 +1466,140 @@ mod tests {
         assert_eq!(reg.counter("offload.warmup_cycles"), r.warmup_cycles);
         assert!(reg.counter("offload.activity.loads") > 0);
         assert!(reg.gauge_value("offload.cycles_per_iteration").is_some());
+    }
+
+    /// Every coordinate a single tile can place onto (rows 0..4 after the
+    /// FP-period rounding), so scrubbing them forces all nodes to the bus.
+    fn all_tile_coords() -> Vec<mesa_accel::Coord> {
+        (0..4).flat_map(|r| (0..8).map(move |c| mesa_accel::Coord::new(r, c))).collect()
+    }
+
+    fn expected_sum(n: u64) -> u64 {
+        (0..n).map(|i| u64::from((i % 100) as u32 + 1)).sum::<u64>() & 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn stuck_pes_are_scrubbed_and_results_stay_correct() {
+        let n = 2000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let plan = FaultPlan { stuck_pes: all_tile_coords(), ..FaultPlan::none() };
+        let r = run_offload_faulted(&p, &mut st, &mut mem, &SystemConfig::m128(), &plan)
+            .expect("episode survives stuck PEs");
+        assert!(r.faults.stuck_pes_scrubbed > 0, "every placed node was on a stuck PE");
+        assert_eq!(r.unmapped_nodes, r.placement.len(), "all nodes fell back to the bus");
+        assert_eq!(st.read(T1) as u32 as u64, expected_sum(n));
+        assert_eq!(st.pc, 0x1010);
+    }
+
+    #[test]
+    fn dropped_bus_tokens_slow_but_do_not_corrupt() {
+        let n = 2000;
+        let (p, st0) = sum_kernel(n);
+
+        let mut st_clean = st0.clone();
+        let mut mem_clean = mem_with_data(n);
+        let clean =
+            run_offload(&p, &mut st_clean, &mut mem_clean, &SystemConfig::m128()).unwrap();
+
+        // Stuck PEs push traffic onto the bus, where every 2nd token drops.
+        let plan = FaultPlan {
+            stuck_pes: all_tile_coords(),
+            bus_drop_period: 2,
+            ..FaultPlan::none()
+        };
+        let mut st = st0;
+        let mut mem = mem_with_data(n);
+        let r = run_offload_faulted(&p, &mut st, &mut mem, &SystemConfig::m128(), &plan)
+            .expect("episode survives dropped bus tokens");
+        assert!(r.faults.bus_tokens_dropped > 0);
+        assert!(
+            r.cycles_per_iteration() >= clean.cycles_per_iteration(),
+            "retried tokens cannot make iterations faster"
+        );
+        assert_eq!(st.read(T1) as u32 as u64, expected_sum(n));
+    }
+
+    #[test]
+    fn corrupted_counters_converge_under_reoptimization() {
+        let n = 4000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let plan = FaultPlan { seed: 7, counter_bit_flips: 4, ..FaultPlan::none() };
+        let r = run_offload_faulted(&p, &mut st, &mut mem, &SystemConfig::m128(), &plan)
+            .expect("episode survives counter corruption");
+        if !r.reopt_rounds.is_empty() {
+            assert!(r.faults.counter_bits_flipped > 0);
+        }
+        assert_eq!(st.read(T1) as u32 as u64, expected_sum(n));
+        assert_eq!(st.pc, 0x1010);
+    }
+
+    #[test]
+    fn truncated_config_stream_declines_and_loop_finishes_on_cpu() {
+        let n = 2000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let mut system = SystemConfig::m128();
+        system.max_warmup_instrs = 50_000;
+        let mut controller = MesaController::new(system.clone());
+        controller.set_fault_plan(Some(FaultPlan {
+            truncate_config: Some(3),
+            ..FaultPlan::none()
+        }));
+        let mut cpu = OoOCore::new(system.core);
+
+        let err = controller.offload(&p, &mut st, &mut mem, &mut cpu).unwrap_err();
+        assert!(matches!(err, MesaError::ConfigStream(_)), "got {err}");
+
+        // The region is blacklisted; a re-attempt declines without a loop.
+        let err = controller.offload(&p, &mut st, &mut mem, &mut cpu).unwrap_err();
+        assert!(
+            matches!(err, MesaError::NoLoopDetected | MesaError::LoopExitedDuringConfig),
+            "got {err}"
+        );
+
+        // The loop still completes correctly on the CPU.
+        let r = cpu.run(&p, &mut st, &mut mem, 0, RunLimits::none(), &mut mesa_cpu::NullMonitor);
+        assert_eq!(r.stop, StopReason::Halted);
+        assert_eq!(mem.data_mut().load_u32(OUT) as u64, expected_sum(n));
+    }
+
+    #[test]
+    fn run_program_survives_config_truncation_end_to_end() {
+        let n = 2000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let mut system = SystemConfig::m128();
+        system.max_warmup_instrs = 50_000;
+        let mut controller = MesaController::new(system.clone());
+        controller.set_fault_plan(Some(FaultPlan {
+            truncate_config: Some(1),
+            ..FaultPlan::none()
+        }));
+        let mut cpu = OoOCore::new(system.core);
+        let report = controller.run_program(&p, &mut st, &mut mem, &mut cpu, 10_000_000);
+        assert!(report.halted, "program must reach its exit on the CPU");
+        assert_eq!(report.config_declines, 1);
+        assert!(report.offloads.is_empty());
+        assert_eq!(mem.data_mut().load_u32(OUT) as u64, expected_sum(n));
+    }
+
+    #[test]
+    fn faulted_episode_reports_fault_metrics() {
+        let n = 2000;
+        let (p, mut st) = sum_kernel(n);
+        let mut mem = mem_with_data(n);
+        let plan = FaultPlan {
+            stuck_pes: all_tile_coords(),
+            bus_drop_period: 3,
+            ..FaultPlan::none()
+        };
+        let r = run_offload_faulted(&p, &mut st, &mut mem, &SystemConfig::m128(), &plan).unwrap();
+        let mut reg = MetricsRegistry::new();
+        r.record_metrics(&mut reg);
+        assert_eq!(reg.counter("offload.fault.stuck_pes_scrubbed"), r.faults.stuck_pes_scrubbed);
+        assert_eq!(reg.counter("offload.fault.bus_tokens_dropped"), r.faults.bus_tokens_dropped);
     }
 
     #[test]

@@ -180,8 +180,11 @@ pub fn check_region(
     accel: &AccelConfig,
     cfg: &DetectConfig,
 ) -> Result<DetectedRegion, RejectReason> {
-    // C1: structural size bound.
-    let len = ((end_pc - start_pc) / 4) as usize;
+    // C1: structural size bound. An inverted region (end before start —
+    // only reachable from corrupted detector state) is rejected like an
+    // oversized one rather than wrapping to a huge length.
+    let span = end_pc.checked_sub(start_pc).unwrap_or(u64::MAX);
+    let len = usize::try_from(span / 4).unwrap_or(usize::MAX);
     if len > accel.max_instrs() {
         return Err(RejectReason::TooLarge { len, max: accel.max_instrs() });
     }
@@ -273,6 +276,26 @@ mod tests {
         .unwrap();
         assert_eq!(d.ldfg.len(), 4);
         assert_eq!(d.expected_iterations, 1000);
+    }
+
+    #[test]
+    fn inverted_region_rejects_as_too_large_instead_of_wrapping() {
+        // `end_pc < start_pc` is only reachable from corrupted detector
+        // state; the span must saturate and reject as C1 rather than
+        // wrapping the subtraction into a near-2^64 region length.
+        let p = sum_program();
+        let st = entry_state(8);
+        let err = check_region(
+            &p,
+            0x1010,
+            0x1000,
+            &st,
+            4,
+            &AccelConfig::m128(),
+            &DetectConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RejectReason::TooLarge { .. }));
     }
 
     #[test]

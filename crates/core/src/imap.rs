@@ -241,7 +241,9 @@ impl ImapFsm {
         self.cycles += 1;
         self.dwell += 1;
         let (dwell_needed, next) = match self.state {
-            Idle => unreachable!(),
+            // Guarded above; kept as a no-progress arm rather than a panic
+            // so a corrupted state machine degrades instead of aborting.
+            Idle => return false,
             Fetch => (self.timing.fetch, GenCandidates),
             GenCandidates => (self.timing.gen_candidates, Filter),
             Filter => (self.timing.filter, LatencyEval),

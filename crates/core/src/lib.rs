@@ -64,7 +64,8 @@ pub mod optimizer;
 
 pub use configure::{build_accel_program, choose_tiles, ConfigCache, OptFlags};
 pub use controller::{
-    run_offload, run_offload_traced, MesaController, MesaError, OffloadReport, ProgramRunReport,
+    run_offload, run_offload_faulted, run_offload_faulted_traced, run_offload_traced,
+    MesaController, MesaError, OffloadReport, ProgramRunReport,
     SystemConfig,
 };
 pub use detect::{check_region, estimate_trip_count, DetectConfig, DetectedRegion, RejectReason};
@@ -72,4 +73,4 @@ pub use dfg::{BuildError, Ldfg, LdfgNode};
 pub use imap::{config_latency, reconfig_latency, trace_map_stages, ConfigLatency, ImapTiming};
 pub use mapper::{map_instructions, MapperConfig, Sdfg, WindowMode};
 pub use memopt::{analyze as analyze_memopts, MemOptPlan};
-pub use optimizer::{apply_counters, reoptimize, ReoptOutcome, ReoptRound};
+pub use optimizer::{apply_counters, reoptimize, ReoptOutcome, ReoptRound, MAX_MEASURED_WEIGHT};

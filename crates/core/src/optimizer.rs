@@ -15,15 +15,21 @@ use mesa_isa::OpClass;
 pub fn apply_counters(ldfg: &mut Ldfg, counters: &PerfCounters) {
     for (node, ctr) in ldfg.nodes.iter_mut().zip(&counters.nodes) {
         if let Some(op) = ctr.avg_op() {
-            node.op_weight = op.max(1);
+            node.op_weight = op.clamp(1, MAX_MEASURED_WEIGHT);
         }
         for slot in 0..2 {
             if let Some(t) = ctr.avg_in(slot) {
-                node.edge_weight[slot] = t;
+                node.edge_weight[slot] = t.min(MAX_MEASURED_WEIGHT);
             }
         }
     }
 }
+
+/// Ceiling on any single measured latency folded into the LDFG. No real
+/// per-operation latency in these simulators approaches 2^20 cycles, but a
+/// corrupted counter (a flipped high bit) can report one; unclamped it
+/// would dominate every critical-path sum and steer placement forever.
+pub const MAX_MEASURED_WEIGHT: u64 = 1 << 20;
 
 /// Record of one F3 re-optimization round, kept by the controller so
 /// profilers can reconstruct the convergence story (Fig. 13-style): what
@@ -133,6 +139,36 @@ mod tests {
         assert_eq!(ldfg.nodes[0].edge_weight[0], 2);
         // Unmeasured nodes keep their static estimates.
         assert_eq!(ldfg.nodes[1].op_weight, 1);
+    }
+
+    #[test]
+    fn corrupted_counters_clamp_at_the_measured_ceiling() {
+        let mut ldfg = sum_ldfg();
+        let mut counters = PerfCounters::new(ldfg.len());
+        // A flipped high bit reports an absurd latency; unclamped it would
+        // dominate every critical-path sum and steer placement forever.
+        counters.nodes[0] = NodeCounter {
+            fires: 1,
+            total_op_cycles: u64::MAX / 2,
+            total_in_cycles: [u64::MAX / 2, 0],
+            in_samples: [1, 0],
+        };
+        // A measured-zero average must still floor at weight 1.
+        counters.nodes[1] =
+            NodeCounter { fires: 10, total_op_cycles: 0, ..Default::default() };
+        apply_counters(&mut ldfg, &counters);
+        assert_eq!(ldfg.nodes[0].op_weight, MAX_MEASURED_WEIGHT);
+        assert_eq!(ldfg.nodes[0].edge_weight[0], MAX_MEASURED_WEIGHT);
+        assert_eq!(ldfg.nodes[1].op_weight, 1);
+
+        // Boundary: a reading exactly at the ceiling passes unchanged.
+        counters.nodes[0] = NodeCounter {
+            fires: 1,
+            total_op_cycles: MAX_MEASURED_WEIGHT,
+            ..Default::default()
+        };
+        apply_counters(&mut ldfg, &counters);
+        assert_eq!(ldfg.nodes[0].op_weight, MAX_MEASURED_WEIGHT);
     }
 
     #[test]

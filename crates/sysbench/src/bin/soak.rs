@@ -1,0 +1,103 @@
+//! `soak` — randomized differential + fault-injection soak loop.
+//!
+//! Each episode derives a kernel, an accelerator configuration,
+//! optimization flags, and a fault plan from one seed, then (1) runs the
+//! optimized engine against the straight-line reference interpreter and a
+//! functional golden run, and (2) periodically offloads a real workload
+//! under the full fault taxonomy to prove the controller survives.
+//!
+//! On divergence the episode seed is printed with an exact replay command
+//! and the process exits non-zero.
+//!
+//! Usage:
+//!   soak --iters N [--seed S]     run N episodes from base seed S (default 1)
+//!   soak --replay 0xSEED          re-run exactly one episode by its seed
+
+use mesa_bench::kernelgen::{controller_episode, differential_episode};
+use mesa_test::splitmix64;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: soak --iters N [--seed S] | soak --replay 0xSEED");
+    ExitCode::from(2)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    s.strip_prefix("0x")
+        .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+}
+
+/// Runs both checks for one episode seed; returns `false` on divergence.
+fn episode(seed: u64) -> bool {
+    let mut ok = true;
+    match differential_episode(seed) {
+        Ok(stats) if stats.skipped => {
+            println!("seed {seed:#018x}: skipped (untranslatable kernel)");
+        }
+        Ok(stats) => {
+            println!(
+                "seed {seed:#018x}: ok — {} iterations, {} cycles, {} bus token(s) dropped",
+                stats.iterations, stats.cycles, stats.bus_tokens_dropped
+            );
+        }
+        Err(msg) => {
+            eprintln!("seed {seed:#018x}: DIVERGENCE\n{msg}");
+            eprintln!("replay with: soak --replay {seed:#x}");
+            ok = false;
+        }
+    }
+    // Controller survival is sampled: it runs a full offload episode, so
+    // exercise it on every 4th seed to keep the smoke loop fast.
+    if seed.is_multiple_of(4) {
+        if let Err(msg) = controller_episode(seed) {
+            eprintln!("seed {seed:#018x}: CONTROLLER FAULT-EPISODE FAILURE\n{msg}");
+            eprintln!("replay with: soak --replay {seed:#x}");
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters = 1u64;
+    let mut base_seed = 1u64;
+    let mut replay: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                iters = v;
+            }
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                base_seed = v;
+            }
+            "--replay" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                replay = Some(v);
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(seed) = replay {
+        return if episode(seed) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let mut state = base_seed;
+    let mut failures = 0u64;
+    for _ in 0..iters {
+        let seed = splitmix64(&mut state);
+        if !episode(seed) {
+            failures += 1;
+        }
+    }
+    println!("soak: {iters} episode(s), {failures} failure(s)");
+    if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}

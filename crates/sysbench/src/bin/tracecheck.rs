@@ -6,8 +6,10 @@
 //!   file (full JSON syntax check, no external parser), requires it to be
 //!   non-empty with balanced span begin/end events, and requires the
 //!   controller-phase spans `detect`, `translate`, `map`, `configure`, and
-//!   `offload` to be present. Used by `scripts/ci.sh` as the trace smoke
-//!   test.
+//!   `offload` to be present. Both `chrome` and `profile` also reject any
+//!   non-finite numeric value (`NaN`/`inf`) so a missed ratio guard can
+//!   never leak into a committed artifact. Used by `scripts/ci.sh` as the
+//!   trace smoke test.
 //! * `tracecheck benchgate <bench.json> <name_a> <name_b> <max_ratio>` —
 //!   reads the JSON-lines microbench report written by the `components`
 //!   bench and asserts `median_ns(name_a) <= median_ns(name_b) *
@@ -67,6 +69,7 @@ fn check_chrome(path: &str) -> Result<String, String> {
         return Err("chrome: missing <trace.json> path".into());
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    check_finite(path, &text)?;
     let summary = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
     for name in REQUIRED_SPANS {
         if !summary.span_names.iter().any(|n| n == name) {
@@ -163,6 +166,7 @@ fn check_profile(path: &str) -> Result<String, String> {
         return Err("profile: missing <report.json> path".into());
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    check_finite(path, &text)?;
     validate_json(&text).map_err(|e| format!("{path}: {e}"))?;
     let compact: String = text.split_whitespace().collect();
 
@@ -189,6 +193,26 @@ fn check_profile(path: &str) -> Result<String, String> {
         "{path}: well-formed profile report, buckets sum to {total} cycles, {}",
         if accepted { "offload accepted" } else { "offload declined" }
     ))
+}
+
+/// Rejects non-finite numeric literals (`NaN`, `inf`, `-inf`) in value
+/// position. JSON has no syntax for them, but Rust's float formatter emits
+/// these tokens when an upstream ratio guard is missed — so their presence
+/// in an exported artifact always marks a division-by-zero bug, and the
+/// syntax validators alone would report it less precisely.
+fn check_finite(path: &str, text: &str) -> Result<(), String> {
+    let compact: String = text.split_whitespace().collect();
+    for needle in
+        [":NaN", ":inf", ":-inf", ",NaN", ",inf", ",-inf", "[NaN", "[inf", "[-inf"]
+    {
+        if compact.contains(needle) {
+            return Err(format!(
+                "{path}: non-finite numeric value ({}) in exported JSON",
+                &needle[1..]
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Extracts the first `"key": <u64>` occurrence from compacted JSON.
@@ -236,6 +260,17 @@ fn median_ns(text: &str, name: &str) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn finiteness_check_rejects_nan_and_inf_values() {
+        assert!(check_finite("t", "{\"speedup\": 1.33, \"ipc\": [2.0, 3.5]}").is_ok());
+        assert!(check_finite("t", "{\"name\": \"config\", \"info\": \"x\"}").is_ok());
+        assert!(check_finite("t", "{\"speedup\": NaN}").is_err());
+        assert!(check_finite("t", "{\"speedup\": inf}").is_err());
+        assert!(check_finite("t", "{\"speedup\": -inf}").is_err());
+        assert!(check_finite("t", "{\"ipc\": [1.0, inf]}").is_err());
+        assert!(check_finite("t", "{\"ipc\": [NaN]}").is_err());
+    }
 
     #[test]
     fn field_extraction_takes_first_occurrence() {

@@ -22,6 +22,17 @@ use mesa_workloads::{
 /// RISC-V CPU").
 pub const BASELINE_CORES: usize = 16;
 
+/// `num / den`, with non-positive or non-finite denominators (and
+/// non-finite numerators) flattened to 0.0 so no NaN/inf ever reaches a
+/// printed row or an exported JSON figure.
+fn ratio(num: f64, den: f64) -> f64 {
+    if num.is_finite() && den.is_finite() && den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
 fn mesa_energy(run: &MesaRun, p: &EnergyParams) -> EnergyBreakdown {
     match &run.report {
         // Only the configured region's PEs draw power; unused tiles are
@@ -92,9 +103,9 @@ pub fn fig11(size: KernelSize) -> (Vec<Fig11Row>, [f64; 4]) {
         let base_e = baseline_energy(&base, &p).total_pj();
         let per_cfg = |system: &SystemConfig| -> (f64, f64, Option<String>) {
             let run = mesa_offload(&kernel, system, BASELINE_CORES);
-            let speedup = base.cycles as f64 / run.cycles as f64;
+            let speedup = ratio(base.cycles as f64, run.cycles as f64);
             let energy = if run.report.is_some() {
-                base_e / mesa_energy(&run, &p).total_pj()
+                ratio(base_e, mesa_energy(&run, &p).total_pj())
             } else {
                 1.0 // fell back to the same multicore
             };
@@ -114,7 +125,7 @@ pub fn fig11(size: KernelSize) -> (Vec<Fig11Row>, [f64; 4]) {
     // The paper reports plain averages ("MESA achieves 1.33x and 1.81x
     // performance gains ... averaged 1.86x and 1.92x").
     let mean = |f: &dyn Fn(&Fig11Row) -> f64| {
-        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+        ratio(rows.iter().map(f).sum::<f64>(), rows.len() as f64)
     };
     let means = [
         mean(&|r| r.speedup_m128),
@@ -152,7 +163,7 @@ pub fn fig12(size: KernelSize) -> Vec<Fig12Row> {
         // OpenCGRA: steady-state II.
         let cgra = opencgra::CgraConfig::similar_to(128, AccelConfig::m128().mem_ports);
         let sched = opencgra::schedule(&ldfg, &cgra).expect("schedulable");
-        let opencgra_ipc = instrs as f64 / sched.ii as f64;
+        let opencgra_ipc = ratio(instrs as f64, sched.ii as f64);
 
         // MESA without optimizations (pure spatial SDFG). Iteration
         // overlap is inherent to the dataflow fabric, as software
@@ -165,14 +176,14 @@ pub fn fig12(size: KernelSize) -> Vec<Fig12Row> {
         let mesa_noopt_ipc = noopt
             .report
             .as_ref()
-            .map_or(0.0, |r| instrs as f64 / r.cycles_per_iteration());
+            .map_or(0.0, |r| ratio(instrs as f64, r.cycles_per_iteration()));
 
         // MESA with its common optimizations (tiling, pipelining, etc.).
         let opt = mesa_offload(&kernel, &SystemConfig::m128(), BASELINE_CORES);
         let mesa_opt_ipc = opt
             .report
             .as_ref()
-            .map_or(0.0, |r| instrs as f64 / r.cycles_per_iteration());
+            .map_or(0.0, |r| ratio(instrs as f64, r.cycles_per_iteration()));
 
         Fig12Row {
             name: kernel.name,
@@ -252,7 +263,7 @@ pub fn fig14(size: KernelSize) -> (Vec<Fig14Row>, [f64; 3]) {
         // DynaSpAM: analytic fabric model over the same LDFG.
         let dynaspam = region_ldfg(&kernel)
             .and_then(|ldfg| dynaspam::map(&ldfg, &dynaspam::DynaspamConfig::default()).ok())
-            .map_or(1.0, |m| single.cycles as f64 / m.cycles_for(kernel.iterations) as f64);
+            .map_or(1.0, |m| ratio(single.cycles as f64, m.cycles_for(kernel.iterations) as f64));
 
         // M-64 without iterative reconfiguration.
         let mut sys = SystemConfig::m64();
@@ -260,14 +271,14 @@ pub fn fig14(size: KernelSize) -> (Vec<Fig14Row>, [f64; 3]) {
         sys.opts.iterative = false;
         let run = mesa_offload(&kernel, &sys, 1);
         let qualified = run.report.is_some();
-        let mesa64 = single.cycles as f64 / run.cycles as f64;
+        let mesa64 = ratio(single.cycles as f64, run.cycles as f64);
 
         // M-64 with iterative reconfiguration.
         let mut sys_it = SystemConfig::m64();
         sys_it.core = core;
         sys_it.opts.iterative = true;
         let run_it = mesa_offload(&kernel, &sys_it, 1);
-        let mesa64_reconfig = single.cycles as f64 / run_it.cycles as f64;
+        let mesa64_reconfig = ratio(single.cycles as f64, run_it.cycles as f64);
 
         Fig14Row { name: kernel.name, dynaspam, mesa64, mesa64_reconfig, mesa_qualified: qualified }
     });
@@ -311,8 +322,8 @@ pub fn fig15(size: KernelSize) -> Vec<Fig15Row> {
         let ideal_mem = accel_cycles(AccelConfig::with_pes(pes).with_ideal_memory());
         Fig15Row {
             pes,
-            speedup: base as f64 / default as f64,
-            speedup_ideal_mem: base_ideal as f64 / ideal_mem as f64,
+            speedup: ratio(base as f64, default as f64),
+            speedup_ideal_mem: ratio(base_ideal as f64, ideal_mem as f64),
             ideal: pes as f64 / 16.0,
         }
     })
@@ -498,6 +509,17 @@ mod tests {
     // The figure functions are exercised end-to-end (with shape
     // assertions) in `tests/figures_shape.rs`; here we only cover the
     // cheap pieces so `cargo test -p mesa-bench` stays fast.
+
+    #[test]
+    fn ratio_flattens_degenerate_denominators_to_zero() {
+        assert_eq!(ratio(10.0, 2.0), 5.0);
+        assert_eq!(ratio(10.0, 0.0), 0.0);
+        assert_eq!(ratio(10.0, -1.0), 0.0);
+        assert_eq!(ratio(10.0, f64::NAN), 0.0);
+        assert_eq!(ratio(10.0, f64::INFINITY), 0.0);
+        assert_eq!(ratio(f64::NAN, 2.0), 0.0);
+        assert!(ratio(10.0, 0.0).is_finite());
+    }
 
     #[test]
     fn reject_tags_cover_the_conditions() {

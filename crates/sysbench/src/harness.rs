@@ -2,7 +2,10 @@
 //! 16-core multicore baseline, and the MESA system, collecting cycles and
 //! memory-hierarchy activity in the form the energy model consumes.
 
-use mesa_core::{run_offload_traced, Ldfg, MesaError, OffloadReport, SystemConfig};
+use mesa_accel::FaultPlan;
+use mesa_core::{
+    run_offload_faulted_traced, run_offload_traced, Ldfg, MesaError, OffloadReport, SystemConfig,
+};
 use mesa_cpu::{CoreConfig, Multicore, NullMonitor, OoOCore, RunLimits};
 use mesa_mem::{MemConfig, MemTraffic, MemorySystem};
 use mesa_power::MemActivity;
@@ -129,7 +132,34 @@ pub fn mesa_offload_traced(
     fallback_cores: usize,
     tracer: &mut dyn Tracer,
 ) -> MesaRun {
-    episode(kernel, system, fallback_cores, tracer, false).0
+    episode(kernel, system, fallback_cores, tracer, false, None).0
+}
+
+/// [`mesa_offload`] under an armed fault-injection plan: the episode
+/// either recovers (correct results, fault events in the report) or
+/// declines and falls back to the host multicore. Never panics.
+#[must_use]
+pub fn mesa_offload_faulted(
+    kernel: &Kernel,
+    system: &SystemConfig,
+    fallback_cores: usize,
+    plan: &FaultPlan,
+) -> MesaRun {
+    episode(kernel, system, fallback_cores, &mut NullTracer, false, Some(plan)).0
+}
+
+/// [`mesa_offload_faulted`] with an observer: injected faults surface as
+/// instants on the `fault` subsystem timeline alongside the controller's
+/// phase spans.
+#[must_use]
+pub fn mesa_offload_faulted_traced(
+    kernel: &Kernel,
+    system: &SystemConfig,
+    fallback_cores: usize,
+    plan: &FaultPlan,
+    tracer: &mut dyn Tracer,
+) -> MesaRun {
+    episode(kernel, system, fallback_cores, tracer, false, Some(plan)).0
 }
 
 /// Runs the kernel under the MESA system and assembles the full
@@ -154,7 +184,7 @@ pub fn mesa_profile_traced(
     fallback_cores: usize,
     tracer: &mut dyn Tracer,
 ) -> (MesaRun, ProfileReport) {
-    let (run, profile) = episode(kernel, system, fallback_cores, tracer, true);
+    let (run, profile) = episode(kernel, system, fallback_cores, tracer, true, None);
     (run, profile.expect("profile requested"))
 }
 
@@ -168,13 +198,19 @@ fn episode(
     fallback_cores: usize,
     tracer: &mut dyn Tracer,
     want_profile: bool,
+    plan: Option<&FaultPlan>,
 ) -> (MesaRun, Option<ProfileReport>) {
     let mut mem = MemorySystem::new(system.mem, 2);
     kernel.populate(mem.data_mut());
     let mut state = kernel.entry.clone();
     tracer.span_begin(Subsystem::Harness, "harness.mesa_offload", 0);
-    let (run, profile) = match run_offload_traced(&kernel.program, &mut state, &mut mem, system, tracer)
-    {
+    let outcome = match plan {
+        Some(plan) => {
+            run_offload_faulted_traced(&kernel.program, &mut state, &mut mem, system, plan, tracer)
+        }
+        None => run_offload_traced(&kernel.program, &mut state, &mut mem, system, tracer),
+    };
+    let (run, profile) = match outcome {
         Ok(report) => {
             let profile = want_profile.then(|| {
                 ProfileReport::from_offload(
@@ -194,11 +230,11 @@ fn episode(
                 profile,
             )
         }
-        Err(
-            e @ (MesaError::Rejected(_)
-            | MesaError::NoLoopDetected
-            | MesaError::LoopExitedDuringConfig),
-        ) => {
+        // Every decline — including config-stream rejections and
+        // accelerator validation failures injected by fault plans — falls
+        // back to the host multicore; a measurement harness must never
+        // abort the whole figure because one episode declined.
+        Err(e) => {
             let fb = cpu_multicore(kernel, fallback_cores);
             tracer.instant(
                 Subsystem::Harness,
@@ -220,7 +256,6 @@ fn episode(
                 profile,
             )
         }
-        Err(e) => panic!("{}: unexpected offload failure: {e}", kernel.name),
     };
     tracer.span_end(Subsystem::Harness, "harness.mesa_offload", run.cycles);
     (run, profile)
@@ -325,6 +360,29 @@ mod tests {
         for name in ["harness.mesa_offload", "detect", "configure", "offload"] {
             assert!(summary.span_names.iter().any(|n| n == name), "missing span {name}");
         }
+    }
+
+    #[test]
+    fn config_stream_fault_falls_back_instead_of_panicking() {
+        let k = by_name("nn", KernelSize::Tiny).unwrap();
+        let plan = FaultPlan { truncate_config: Some(2), ..FaultPlan::none() };
+        let r = mesa_offload_faulted(&k, &SystemConfig::m128(), 4, &plan);
+        assert!(r.report.is_none(), "truncated config must decline");
+        assert!(
+            matches!(r.declined, Some(mesa_core::MesaError::ConfigStream(_))),
+            "got {:?}",
+            r.declined
+        );
+        assert!(r.cycles > 0, "fallback multicore run measured");
+        assert_eq!(r.cpu_mem, r.mem);
+    }
+
+    #[test]
+    fn survivable_fault_plan_keeps_the_offload() {
+        let k = by_name("nn", KernelSize::Tiny).unwrap();
+        let plan = FaultPlan { bus_drop_period: 4, ..FaultPlan::none() };
+        let r = mesa_offload_faulted(&k, &SystemConfig::m128(), 4, &plan);
+        assert!(r.report.is_some(), "bus drops are survivable: {:?}", r.declined);
     }
 
     #[test]

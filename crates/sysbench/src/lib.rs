@@ -10,6 +10,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod kernelgen;
 pub mod pool;
 
 pub use figures::{
@@ -18,7 +19,9 @@ pub use figures::{
     BASELINE_CORES,
 };
 pub use harness::{
-    cpu_multicore, cpu_single, geomean, mesa_offload, mesa_offload_traced, mesa_profile,
-    mesa_profile_traced, region_ldfg, BaselineRun, MesaRun,
+    cpu_multicore, cpu_single, geomean, mesa_offload, mesa_offload_faulted,
+    mesa_offload_faulted_traced, mesa_offload_traced, mesa_profile, mesa_profile_traced,
+    region_ldfg, BaselineRun, MesaRun,
 };
+pub use kernelgen::{controller_episode, differential_episode, EpisodeStats};
 pub use pool::{jobs, par_map, set_jobs};

@@ -21,4 +21,4 @@ pub mod rng;
 
 pub use bench::{bench_fn, BenchResult, BenchSuite};
 pub use prop::{Checker, Regressions, Report, Strategy, StrategyExt};
-pub use rng::Rng;
+pub use rng::{splitmix64, Rng};

@@ -24,16 +24,19 @@ pub enum Subsystem {
     Memory,
     /// The measurement harness wrapping a whole episode.
     Harness,
+    /// Injected-fault events (corruption, scrubbing, recovery decisions).
+    Fault,
 }
 
 impl Subsystem {
     /// All subsystems, in thread-id order.
-    pub const ALL: [Subsystem; 5] = [
+    pub const ALL: [Subsystem; 6] = [
         Subsystem::Cpu,
         Subsystem::Controller,
         Subsystem::Accelerator,
         Subsystem::Memory,
         Subsystem::Harness,
+        Subsystem::Fault,
     ];
 
     /// Stable thread id used by the Chrome-trace exporter.
@@ -45,6 +48,7 @@ impl Subsystem {
             Subsystem::Accelerator => 3,
             Subsystem::Memory => 4,
             Subsystem::Harness => 5,
+            Subsystem::Fault => 6,
         }
     }
 
@@ -57,6 +61,7 @@ impl Subsystem {
             Subsystem::Accelerator => "accelerator",
             Subsystem::Memory => "memory",
             Subsystem::Harness => "harness",
+            Subsystem::Fault => "fault",
         }
     }
 }

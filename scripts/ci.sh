@@ -8,6 +8,28 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Panic-free gate: the controller and accelerator must stay free of
+# `unwrap()`/`panic!`/`unreachable!` in non-test code — every recoverable
+# failure goes through typed errors and the CPU fallback instead. Each
+# file is truncated at its first `#[cfg(test)]` so test modules (where
+# unwrap is idiomatic) stay exempt.
+panic_free_violations=0
+for f in crates/core/src/*.rs crates/accel/src/*.rs; do
+  hits="$(awk '/#\[cfg\(test\)\]/{exit} {print FNR": "$0}' "$f" \
+    | grep -vE '^[0-9]+: *//' \
+    | grep -E '\.unwrap\(\)|unreachable!|panic!' || true)"
+  if [[ -n "$hits" ]]; then
+    echo "ci: forbidden panic site in non-test code of $f:" >&2
+    echo "$hits" >&2
+    panic_free_violations=1
+  fi
+done
+if [[ "$panic_free_violations" != 0 ]]; then
+  echo "ci: use typed errors + CPU fallback instead (see README Robustness)" >&2
+  exit 1
+fi
+echo "panic-free gate: no unwrap/panic/unreachable in non-test core/accel sources"
+
 # Trace smoke test: capture a tiny nn offload episode and validate the
 # Chrome trace-event export (well-formed JSON, balanced spans, all
 # controller phases present).
@@ -25,6 +47,12 @@ cargo run --release --offline -q -p mesa-bench --bin tracecheck -- chrome "$trac
 # exactly to total cycles, non-empty heatmap for the accepted offload).
 cargo run --release --offline -q -p mesa-bench --bin profile -- nn tiny --out "$profile_tmp"
 cargo run --release --offline -q -p mesa-bench --bin tracecheck -- profile "$profile_tmp"
+
+# Differential + fault-injection soak smoke: a fixed-seed slice of the
+# randomized soak loop (optimized engine vs reference interpreter vs
+# golden model, plus controller fault-survival episodes). A divergence
+# prints its episode seed for exact replay via `soak --replay 0xSEED`.
+cargo run --release --offline -q -p mesa-bench --bin soak -- --iters 16 --seed 1
 
 # Parallel-harness determinism smoke: the full figure suite must be
 # byte-identical no matter how many worker threads run the per-kernel

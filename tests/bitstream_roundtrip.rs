@@ -40,7 +40,8 @@ fn every_kernel_config_roundtrips_through_the_bitstream() {
     for kernel in all(KernelSize::Tiny) {
         let Some(ldfg) = region_ldfg(&kernel) else { continue };
         let prog = build_config(&ldfg, &kernel);
-        let words = encode_bitstream(&prog);
+        let words = encode_bitstream(&prog)
+            .unwrap_or_else(|e| panic!("{}: bitstream encode failed: {e}", kernel.name));
         let decoded = decode_bitstream(&words).unwrap_or_else(|e| {
             panic!("{}: bitstream decode failed: {e}", kernel.name);
         });
@@ -56,7 +57,8 @@ fn decoded_bitstream_executes_identically() {
         }
         let Some(ldfg) = region_ldfg(&kernel) else { continue };
         let prog = build_config(&ldfg, &kernel);
-        let via_wire = decode_bitstream(&encode_bitstream(&prog)).expect("decodes");
+        let via_wire =
+            decode_bitstream(&encode_bitstream(&prog).expect("encodes")).expect("decodes");
 
         let accel = SpatialAccelerator::new(AccelConfig::m128());
         let run = |p: &mesa::accel::AccelProgram| {

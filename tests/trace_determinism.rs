@@ -28,6 +28,20 @@ fn traced_nn_run() -> RingTracer {
     tracer
 }
 
+fn traced_faulted_nn_run(seed: u64) -> (RingTracer, Option<u64>) {
+    let kernel = by_name("nn", KernelSize::Tiny).expect("nn");
+    let plan = mesa::accel::FaultPlan::from_seed(seed, 4, 8);
+    let mut tracer = RingTracer::new(1 << 16);
+    let run = mesa_bench::mesa_offload_faulted_traced(
+        &kernel,
+        &SystemConfig::m128(),
+        4,
+        &plan,
+        &mut tracer,
+    );
+    (tracer, run.report.map(|r| r.faults.total()))
+}
+
 #[test]
 fn same_run_exports_byte_identical_traces() {
     let a = traced_nn_run();
@@ -36,6 +50,22 @@ fn same_run_exports_byte_identical_traces() {
     assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
     assert_eq!(a.timeline_summary(), b.timeline_summary());
     assert_eq!(a.dropped(), b.dropped());
+}
+
+/// Fault injection is part of the deterministic state: the same seed and
+/// fault plan must reproduce the same injected-fault events, the same
+/// recovery decisions, and byte-identical trace exports — the property the
+/// soak binary's seed-replay workflow depends on.
+#[test]
+fn same_fault_plan_exports_byte_identical_traces() {
+    forall!(Checker::new("trace::fault_determinism").cases(8).regressions_file(REGRESSIONS), |(seed in 0u64..1_000_000)| {
+        let (a, faults_a) = traced_faulted_nn_run(seed);
+        let (b, faults_b) = traced_faulted_nn_run(seed);
+        prop_assert_eq!(faults_a, faults_b);
+        prop_assert_eq!(a.to_json_lines(), b.to_json_lines());
+        prop_assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+        prop_assert_eq!(a.timeline_summary(), b.timeline_summary());
+    });
 }
 
 #[test]
