@@ -40,6 +40,35 @@ impl NodeCounter {
     pub fn stall_cycles(&self) -> u64 {
         self.total_op_cycles + self.total_in_cycles[0] + self.total_in_cycles[1]
     }
+
+    /// Number of words [`NodeCounter::write_words`] emits per counter.
+    pub const SNAPSHOT_WORDS: usize = 6;
+
+    /// Appends this counter to a snapshot word stream (fixed field order;
+    /// see `PlacementSnapshot`).
+    pub fn write_words(&self, out: &mut Vec<u64>) {
+        out.push(self.fires);
+        out.push(self.total_op_cycles);
+        out.push(self.total_in_cycles[0]);
+        out.push(self.total_in_cycles[1]);
+        out.push(self.in_samples[0]);
+        out.push(self.in_samples[1]);
+    }
+
+    /// Inverse of [`NodeCounter::write_words`]; `None` when the slice is
+    /// short.
+    #[must_use]
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        let &[fires, op, in0, in1, s0, s1] = words.get(..Self::SNAPSHOT_WORDS)? else {
+            return None;
+        };
+        Some(NodeCounter {
+            fires,
+            total_op_cycles: op,
+            total_in_cycles: [in0, in1],
+            in_samples: [s0, s1],
+        })
+    }
 }
 
 /// The full counter bank for one configured region.
@@ -141,6 +170,57 @@ impl ActivityStats {
     #[must_use]
     pub fn mem_ops(&self) -> u64 {
         self.loads + self.stores
+    }
+
+    /// Number of words [`ActivityStats::write_words`] emits.
+    pub const SNAPSHOT_WORDS: usize = 14;
+
+    /// Appends every field to a snapshot word stream, in declaration
+    /// order (the order `record_metrics` uses).
+    pub fn write_words(&self, out: &mut Vec<u64>) {
+        out.extend_from_slice(&[
+            self.int_ops,
+            self.fp_ops,
+            self.loads,
+            self.stores,
+            self.pe_busy_cycles,
+            self.local_transfers,
+            self.noc_transfers,
+            self.noc_hop_cycles,
+            self.fallback_transfers,
+            self.forwards,
+            self.violations,
+            self.disabled_fires,
+            self.vector_piggybacks,
+            self.prefetch_hits,
+        ]);
+    }
+
+    /// Inverse of [`ActivityStats::write_words`]; `None` when the slice is
+    /// short.
+    #[must_use]
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        let &[int_ops, fp_ops, loads, stores, pe_busy_cycles, local_transfers, noc_transfers, noc_hop_cycles, fallback_transfers, forwards, violations, disabled_fires, vector_piggybacks, prefetch_hits] =
+            words.get(..Self::SNAPSHOT_WORDS)?
+        else {
+            return None;
+        };
+        Some(ActivityStats {
+            int_ops,
+            fp_ops,
+            loads,
+            stores,
+            pe_busy_cycles,
+            local_transfers,
+            noc_transfers,
+            noc_hop_cycles,
+            fallback_transfers,
+            forwards,
+            violations,
+            disabled_fires,
+            vector_piggybacks,
+            prefetch_hits,
+        })
     }
 
     /// Registers every activity field as a counter named

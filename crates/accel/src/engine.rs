@@ -13,13 +13,15 @@
 //! the PE-scaling curve of Fig. 15 once ports saturate.
 
 use crate::faults::{FaultLog, FaultPlan, BUS_DROP_PENALTY};
+use crate::snapshot::{PlacementSnapshot, SnapshotError, TileSnap};
 use crate::{
     AccelConfig, AccelProgram, ActivityStats, Coord, HalfRingModel, LatencyModel, NodeConfig,
-    Operand, PerfCounters, ProgramError,
+    Operand, PerfCounters, ProgramError, Region,
 };
 use mesa_isa::{step, ArchState, Instruction, MemoryIo, OpClass, Outcome, Reg, Xlen};
 use mesa_mem::MemorySystem;
 use mesa_trace::{NullTracer, Subsystem, Tracer};
+use std::fmt;
 
 /// Extra cycles to replay a load invalidated by a conflicting store.
 pub(crate) const VIOLATION_REDO: u64 = 2;
@@ -53,6 +55,91 @@ impl AccelRunResult {
         } else {
             self.cycles as f64 / self.iterations as f64
         }
+    }
+}
+
+/// Parameters of one spatial session: who runs, where on the grid, for how
+/// long, and whether the session should freeze itself.
+///
+/// The plain `execute*` entry points are the degenerate case — full-grid
+/// region, never pause. The fabric manager uses explicit regions and
+/// `pause_at_cycle` to time-slice tenants.
+#[derive(Debug, Clone)]
+pub struct SessionRequest<'a> {
+    /// Memory-system requester id of the accelerator.
+    pub requester: usize,
+    /// Total iteration budget (cumulative across pauses/resumes).
+    pub max_iterations: u64,
+    /// Fault plan (only its timing faults act at the engine level).
+    pub faults: &'a FaultPlan,
+    /// Row band of the grid this session owns.
+    pub region: Region,
+    /// Freeze at the first round boundary whose session clock has reached
+    /// this cycle (`None` = run to completion). Iterations stay contiguous
+    /// because the check happens between rounds, like the budget check.
+    pub pause_at_cycle: Option<u64>,
+}
+
+impl<'a> SessionRequest<'a> {
+    /// A full-grid, never-pausing request — what the plain `execute*`
+    /// entry points use.
+    #[must_use]
+    pub fn solo(requester: usize, max_iterations: u64, faults: &'a FaultPlan, grid: crate::GridDim) -> Self {
+        SessionRequest {
+            requester,
+            max_iterations,
+            faults,
+            region: Region::full(grid),
+            pause_at_cycle: None,
+        }
+    }
+}
+
+/// How a spatial session ended.
+// The completed variant is the overwhelmingly common one; boxing it would
+// tax every solo execute call to slim the rare paused arm.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum SessionStatus {
+    /// Every tile's loop exited (or the iteration budget ran out); the
+    /// result is exactly what an uninterrupted `execute*` call returns.
+    Completed(AccelRunResult),
+    /// The session froze at a round boundary per
+    /// [`SessionRequest::pause_at_cycle`]; resume it by passing the
+    /// snapshot back to [`SpatialAccelerator::run_session`].
+    Paused(Box<PlacementSnapshot>),
+}
+
+/// Errors starting or resuming a spatial session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The program failed validation against the session's region.
+    Program(ProgramError),
+    /// The resume snapshot was rejected (wrong program, region height, or
+    /// fault binding).
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Program(e) => write!(f, "session program rejected: {e}"),
+            SessionError::Snapshot(e) => write!(f, "session snapshot rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ProgramError> for SessionError {
+    fn from(e: ProgramError) -> Self {
+        SessionError::Program(e)
+    }
+}
+
+impl From<SnapshotError> for SessionError {
+    fn from(e: SnapshotError) -> Self {
+        SessionError::Snapshot(e)
     }
 }
 
@@ -395,66 +482,182 @@ impl SpatialAccelerator {
         tracer: &mut dyn Tracer,
         cycle_base: u64,
     ) -> Result<AccelRunResult, ProgramError> {
-        prog.validate(self.cfg.grid())?;
+        let req = SessionRequest::solo(requester, max_iterations, faults, self.cfg.grid());
+        match self.session_inner(prog, entry, mem, &req, None, tracer, cycle_base)? {
+            SessionStatus::Completed(r) => Ok(r),
+            // A solo request never pauses; mapped totally for panic freedom.
+            SessionStatus::Paused(s) => Ok(s.to_result(prog)),
+        }
+    }
+
+    /// Runs one spatial session: like
+    /// [`execute_faulted_traced`](Self::execute_faulted_traced) but
+    /// confined to `req.region`'s row band, optionally freezing at a
+    /// round boundary
+    /// ([`SessionRequest::pause_at_cycle`]) and optionally continuing from
+    /// an earlier freeze (`resume`).
+    ///
+    /// Because the fabric's latencies depend only on *relative*
+    /// coordinates and its booking counters travel inside the snapshot, a
+    /// session paused in one region and resumed in another same-height
+    /// region of the same grid continues cycle-identically; across grids
+    /// with different port counts the timing shifts but the architectural
+    /// results are unchanged. A session that runs to completion returns
+    /// exactly what an uninterrupted `execute*` call would.
+    ///
+    /// # Errors
+    /// [`SessionError::Program`] when the program does not fit the region,
+    /// or [`SessionError::Snapshot`] when `resume` does not belong to this
+    /// program/region/fault binding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_session(
+        &self,
+        prog: &AccelProgram,
+        entry: &ArchState,
+        mem: &mut MemorySystem,
+        req: &SessionRequest<'_>,
+        resume: Option<&PlacementSnapshot>,
+        tracer: &mut dyn Tracer,
+        cycle_base: u64,
+    ) -> Result<SessionStatus, SessionError> {
+        if let Some(snap) = resume {
+            snap.check_compatible(prog, req.region, req.faults)?;
+        }
+        Ok(self.session_inner(prog, entry, mem, req, resume, tracer, cycle_base)?)
+    }
+
+    /// Shared session body. `resume` is trusted here (compatibility is the
+    /// public entry points' concern): with `None` this is byte-for-byte
+    /// the pre-fabric execute path over the full grid.
+    #[allow(clippy::too_many_arguments)]
+    fn session_inner(
+        &self,
+        prog: &AccelProgram,
+        entry: &ArchState,
+        mem: &mut MemorySystem,
+        req: &SessionRequest<'_>,
+        resume: Option<&PlacementSnapshot>,
+        tracer: &mut dyn Tracer,
+        cycle_base: u64,
+    ) -> Result<SessionStatus, ProgramError> {
+        let region = req.region;
+        if !region.fits(self.cfg.rows, self.cfg.cols) {
+            // The region itself does not sit on this grid; report the
+            // corner that sticks out (or (0,0) for an empty region).
+            return Err(ProgramError::OutOfGrid(Coord::new(
+                region.end_row().saturating_sub(1),
+                region.cols.saturating_sub(1),
+            )));
+        }
+        prog.validate(region.dims())?;
         tracer.span_begin(Subsystem::Accelerator, "accel.execute", cycle_base);
 
         let n = prog.nodes.len();
         let tiles = prog.tiles.max(1);
         let rows_per_tile = prog.rows_per_tile();
 
-        let mut counters = PerfCounters::new(n);
-        let mut activity = ActivityStats::default();
+        let mut counters;
+        let mut activity;
+        let mut fabric;
+        let mut tile_states: Vec<TileState>;
+        let mut total_iters;
+        let mut last_iter_tile;
+        let xlen;
+        let start_cycles;
 
-        let mut fabric = Fabric {
-            port_requests: 0,
-            port_count: self.cfg.mem_ports.clamp(1, 1 << 20) as u64,
-            lane_requests: vec![0; self.cfg.rows],
-            bus_requests: 0,
-            bus_drop_period: faults.bus_drop_period,
-            bus_drops: 0,
-        };
-        let unlimited_ports = self.cfg.mem_ports >= usize::MAX / 2;
-
-        // Per-tile state with induction offsets.
-        let mut tile_states: Vec<TileState> = (0..tiles)
-            .map(|t| {
-                let mut regs: Vec<u64> = (0..Reg::COUNT)
-                    .map(|i| entry.read(Reg::from_flat_index(i)))
-                    .collect();
-                if t > 0 {
-                    for node in &prog.nodes {
-                        if node.scale_imm_by_tiles {
-                            if let Some(rd) = node.instr.dest() {
-                                let v = regs[rd.flat_index()];
-                                // i128 keeps tile-count × immediate exact
-                                // before the architectural wrap to u64.
-                                regs[rd.flat_index()] = v
-                                    .wrapping_add((t as i128 * i128::from(node.instr.imm)) as u64);
+        if let Some(snap) = resume {
+            // Continue exactly where the freeze left off: architectural
+            // state, timing cursors, and booking counters all come from
+            // the snapshot; only the region placement is fresh.
+            counters = snap.counters.clone();
+            activity = snap.activity;
+            let mut lanes = vec![0u64; self.cfg.rows];
+            for (i, &v) in snap.lane_requests.iter().enumerate() {
+                if let Some(slot) = lanes.get_mut(region.first_row + i) {
+                    *slot = v;
+                }
+            }
+            fabric = Fabric {
+                port_requests: snap.port_requests,
+                port_count: self.cfg.mem_ports.clamp(1, 1 << 20) as u64,
+                lane_requests: lanes,
+                bus_requests: snap.bus_requests,
+                bus_drop_period: req.faults.bus_drop_period,
+                bus_drops: snap.bus_drops,
+            };
+            tile_states = snap
+                .tile_states
+                .iter()
+                .map(|t| TileState {
+                    entry_regs: t.entry_regs.clone(),
+                    prev_value: t.prev_value.clone(),
+                    prev_complete: t.prev_complete.clone(),
+                    iters: t.iters,
+                    last_complete: t.last_complete,
+                    running: t.running,
+                    last_store_start: t.last_store_start,
+                })
+                .collect();
+            total_iters = snap.total_iters;
+            last_iter_tile = snap.last_iter_tile;
+            xlen = snap.xlen;
+            start_cycles = snap.cycles();
+        } else {
+            counters = PerfCounters::new(n);
+            activity = ActivityStats::default();
+            fabric = Fabric {
+                port_requests: 0,
+                port_count: self.cfg.mem_ports.clamp(1, 1 << 20) as u64,
+                lane_requests: vec![0; self.cfg.rows],
+                bus_requests: 0,
+                bus_drop_period: req.faults.bus_drop_period,
+                bus_drops: 0,
+            };
+            // Per-tile state with induction offsets.
+            tile_states = (0..tiles)
+                .map(|t| {
+                    let mut regs: Vec<u64> = (0..Reg::COUNT)
+                        .map(|i| entry.read(Reg::from_flat_index(i)))
+                        .collect();
+                    if t > 0 {
+                        for node in &prog.nodes {
+                            if node.scale_imm_by_tiles {
+                                if let Some(rd) = node.instr.dest() {
+                                    let v = regs[rd.flat_index()];
+                                    // i128 keeps tile-count × immediate exact
+                                    // before the architectural wrap to u64.
+                                    regs[rd.flat_index()] = v.wrapping_add(
+                                        (t as i128 * i128::from(node.instr.imm)) as u64,
+                                    );
+                                }
                             }
                         }
                     }
-                }
-                TileState {
-                    entry_regs: regs,
-                    prev_value: vec![0; n],
-                    prev_complete: vec![0; n],
-                    iters: 0,
-                    last_complete: 0,
-                    running: true,
-                    last_store_start: 0,
-                }
-            })
-            .collect();
-
-        let mut total_iters = 0u64;
-        let mut last_iter_tile = 0usize; // tile that ran the globally-last iteration
-        let mut scratch = IterScratch::new(n, entry.xlen);
+                    TileState {
+                        entry_regs: regs,
+                        prev_value: vec![0; n],
+                        prev_complete: vec![0; n],
+                        iters: 0,
+                        last_complete: 0,
+                        running: true,
+                        last_store_start: 0,
+                    }
+                })
+                .collect();
+            total_iters = 0u64;
+            last_iter_tile = 0usize; // tile that ran the globally-last iteration
+            xlen = entry.xlen;
+            start_cycles = 0;
+        }
+        let unlimited_ports = self.cfg.mem_ports >= usize::MAX / 2;
+        let mut scratch = IterScratch::new(n, xlen);
 
         // Static per-tile node plans (coords, routes, tile-scaled
-        // instructions): resolved once here, reused every iteration.
+        // instructions): resolved once here, reused every iteration. The
+        // region offset shifts every placement into the owned row band.
         let plans: Vec<Vec<NodePlan>> = (0..tiles)
             .map(|t| {
-                let row_offset = t * rows_per_tile;
+                let row_offset = region.first_row + t * rows_per_tile;
                 prog.nodes
                     .iter()
                     .map(|node| self.plan_node(prog, node, row_offset, tiles))
@@ -462,14 +665,24 @@ impl SpatialAccelerator {
             })
             .collect();
 
+        let mut paused = false;
         loop {
             // The iteration budget is checked at *round* boundaries only:
             // within one round every running tile executes exactly one
             // iteration, so the set of executed global iterations stays
             // contiguous (0..N) and the controller can resume a paused
             // tiled region from architectural state alone.
-            if total_iters >= max_iterations {
+            if total_iters >= req.max_iterations {
                 break;
+            }
+            // The pause request shares the boundary: "freeze at cycle c"
+            // means the first round boundary whose session clock reached c.
+            if let Some(p) = req.pause_at_cycle {
+                let clock = tile_states.iter().map(|t| t.last_complete).max().unwrap_or(0);
+                if clock >= p && tile_states.iter().any(|t| t.running) {
+                    paused = true;
+                    break;
+                }
             }
             let mut any = false;
             for (t, tile_state) in tile_states.iter_mut().enumerate().take(tiles) {
@@ -483,7 +696,7 @@ impl SpatialAccelerator {
                     &plans[t],
                     &mut fabric,
                     mem,
-                    requester,
+                    req.requester,
                     unlimited_ports,
                     &mut counters,
                     &mut activity,
@@ -497,17 +710,11 @@ impl SpatialAccelerator {
             }
         }
 
-        let completed = tile_states.iter().all(|t| !t.running);
-        let last = &tile_states[last_iter_tile];
-        let final_regs = prog
-            .live_out
-            .iter()
-            .map(|&(reg, node)| (reg, last.prev_value[node as usize]))
-            .collect();
         let cycles = tile_states.iter().map(|t| t.last_complete).max().unwrap_or(0);
-
         if tracer.enabled() {
-            let end = cycle_base + cycles;
+            // `cycles` is the session clock (cumulative across resumes);
+            // the episode timeline advances only by this call's share.
+            let end = cycle_base + (cycles - start_cycles);
             tracer.counter(Subsystem::Accelerator, "accel.iterations", total_iters, end);
             tracer.counter(
                 Subsystem::Accelerator,
@@ -517,7 +724,51 @@ impl SpatialAccelerator {
             );
             tracer.span_end(Subsystem::Accelerator, "accel.execute", end);
         }
-        Ok(AccelRunResult {
+
+        if paused {
+            let snap = PlacementSnapshot {
+                fingerprint: prog.fingerprint(),
+                xlen,
+                nodes: n,
+                tiles,
+                region_rows: region.rows,
+                bus_drop_period: req.faults.bus_drop_period,
+                total_iters,
+                last_iter_tile,
+                port_requests: fabric.port_requests,
+                bus_requests: fabric.bus_requests,
+                bus_drops: fabric.bus_drops,
+                lane_requests: fabric
+                    .lane_requests
+                    .get(region.first_row..region.end_row())
+                    .map(<[u64]>::to_vec)
+                    .unwrap_or_default(),
+                tile_states: tile_states
+                    .into_iter()
+                    .map(|t| TileSnap {
+                        entry_regs: t.entry_regs,
+                        prev_value: t.prev_value,
+                        prev_complete: t.prev_complete,
+                        iters: t.iters,
+                        last_complete: t.last_complete,
+                        running: t.running,
+                        last_store_start: t.last_store_start,
+                    })
+                    .collect(),
+                counters,
+                activity,
+            };
+            return Ok(SessionStatus::Paused(Box::new(snap)));
+        }
+
+        let completed = tile_states.iter().all(|t| !t.running);
+        let last = &tile_states[last_iter_tile];
+        let final_regs = prog
+            .live_out
+            .iter()
+            .map(|&(reg, node)| (reg, last.prev_value[node as usize]))
+            .collect();
+        Ok(SessionStatus::Completed(AccelRunResult {
             iterations: total_iters,
             cycles,
             counters,
@@ -525,7 +776,7 @@ impl SpatialAccelerator {
             final_regs,
             completed,
             faults: FaultLog { bus_tokens_dropped: fabric.bus_drops, ..FaultLog::default() },
-        })
+        }))
     }
 
     /// Builds one operand's static plan for a tile (flat register indices
@@ -1421,5 +1672,129 @@ mod tests {
         assert!(load_ctr.avg_op().unwrap() >= 3);
         // The add saw a transfer on its second input.
         assert!(r.counters.nodes[1].in_samples[1] > 0);
+    }
+
+    /// Fills the sum-loop input array.
+    fn sum_loop_mem() -> MemorySystem {
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        for i in 0..16u64 {
+            mem.data_mut().store_u32(0x10000 + 4 * i, (7 * i + 3) as u32);
+        }
+        mem
+    }
+
+    fn session_req<'a>(faults: &'a FaultPlan, region: Region, pause: Option<u64>) -> SessionRequest<'a> {
+        SessionRequest { requester: 0, max_iterations: 10_000, faults, region, pause_at_cycle: pause }
+    }
+
+    fn expect_full_equality(a: &AccelRunResult, b: &AccelRunResult) {
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.final_regs, b.final_regs);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.activity, b.activity);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn pause_resume_in_place_is_bit_identical_to_uninterrupted() {
+        let (prog, entry) = sum_loop();
+        let accel = SpatialAccelerator::new(AccelConfig::m128());
+        let none = FaultPlan::none();
+        let mut mem = sum_loop_mem();
+        let solo = accel.execute(&prog, &entry, &mut mem, 0, 10_000).unwrap();
+
+        let region = Region::new(0, 4, 8);
+        // A pause point the final round leaps over (the loop exits in the
+        // same round) legitimately completes instead of pausing; early
+        // points must genuinely freeze.
+        for pause_at in [0, 1, solo.cycles / 2, solo.cycles - 1, solo.cycles + 10] {
+            let mut mem = sum_loop_mem();
+            let req = session_req(&none, region, Some(pause_at));
+            let status = accel
+                .run_session(&prog, &entry, &mut mem, &req, None, &mut NullTracer, 0)
+                .unwrap();
+            let resumed = match status {
+                SessionStatus::Paused(snap) => {
+                    let req = session_req(&none, region, None);
+                    let status = accel
+                        .run_session(&prog, &entry, &mut mem, &req, Some(&snap), &mut NullTracer, 0)
+                        .unwrap();
+                    let SessionStatus::Completed(r) = status else {
+                        panic!("resume did not complete");
+                    };
+                    r
+                }
+                SessionStatus::Completed(r) => {
+                    assert!(pause_at + 1 >= solo.cycles, "pause at {pause_at} did not pause");
+                    r
+                }
+            };
+            expect_full_equality(&solo, &resumed);
+        }
+    }
+
+    #[test]
+    fn migration_to_another_aligned_region_is_cycle_identical() {
+        let (prog, entry) = sum_loop();
+        let accel = SpatialAccelerator::new(AccelConfig::m128());
+        let none = FaultPlan::none();
+        let mut mem = sum_loop_mem();
+        let solo = accel.execute(&prog, &entry, &mut mem, 0, 10_000).unwrap();
+
+        // Freeze in the bottom band, thaw in every other aligned band: the
+        // half-ring only sees relative coordinates, so even the cycle
+        // totals and booking-counter-driven stats must match.
+        for first_row in [4, 8, 12] {
+            let mut mem = sum_loop_mem();
+            let req = session_req(&none, Region::new(0, 4, 8), Some(solo.cycles / 2));
+            let SessionStatus::Paused(snap) = accel
+                .run_session(&prog, &entry, &mut mem, &req, None, &mut NullTracer, 0)
+                .unwrap()
+            else {
+                panic!("did not pause");
+            };
+            let words = snap.to_words();
+            let thawed = PlacementSnapshot::from_words(&words).unwrap();
+            let req = session_req(&none, Region::new(first_row, 4, 8), None);
+            let SessionStatus::Completed(migrated) = accel
+                .run_session(&prog, &entry, &mut mem, &req, Some(&thawed), &mut NullTracer, 0)
+                .unwrap()
+            else {
+                panic!("resume did not complete");
+            };
+            expect_full_equality(&solo, &migrated);
+        }
+    }
+
+    #[test]
+    fn session_rejects_region_outside_grid_and_foreign_snapshots() {
+        let (prog, entry) = sum_loop();
+        let accel = SpatialAccelerator::new(AccelConfig::m128());
+        let none = FaultPlan::none();
+        let mut mem = sum_loop_mem();
+
+        // Region hangs off the 16-row grid.
+        let req = session_req(&none, Region::new(16, 4, 8), None);
+        let err = accel
+            .run_session(&prog, &entry, &mut mem, &req, None, &mut NullTracer, 0)
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Program(ProgramError::OutOfGrid(_))), "{err}");
+
+        // A snapshot from a different program must be rejected up front.
+        let req = session_req(&none, Region::new(0, 4, 8), Some(0));
+        let SessionStatus::Paused(snap) = accel
+            .run_session(&prog, &entry, &mut mem, &req, None, &mut NullTracer, 0)
+            .unwrap()
+        else {
+            panic!("did not pause");
+        };
+        let (other, other_entry) = counter_loop(10);
+        let req = session_req(&none, Region::new(0, 4, 8), None);
+        let err = accel
+            .run_session(&other, &other_entry, &mut mem, &req, Some(&snap), &mut NullTracer, 0)
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Snapshot(SnapshotError::Mismatch { .. })), "{err}");
     }
 }

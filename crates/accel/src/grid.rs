@@ -210,6 +210,89 @@ impl LatencyModel for HalfRingModel {
     }
 }
 
+/// Rows that must stay together when a region moves: the FP checkerboard
+/// (`AccelConfig::supports`) and the half-ring slices both repeat with this
+/// period, and `AccelProgram::rows_per_tile` rounds to the same multiple,
+/// so a region translated by a whole number of these bands lands on
+/// identically-capable PEs.
+pub const REGION_ROW_ALIGN: usize = 4;
+
+/// A horizontal band of the PE grid leased to one tenant.
+///
+/// The fabric is carved along rows only: every region spans the full column
+/// width (the half-ring lanes are per-row, so row bands never share a NoC
+/// lane), and `first_row` is kept [`REGION_ROW_ALIGN`]-aligned so relocating
+/// a region preserves both FP support and slice geometry. Because the
+/// interconnect latency depends only on *relative* coordinates, a program
+/// runs cycle-identically in any region of the same grid — the theorem the
+/// migration property tests exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// First grid row owned by the region.
+    pub first_row: usize,
+    /// Number of rows owned (non-zero).
+    pub rows: usize,
+    /// Number of columns (the full grid width for row-band regions).
+    pub cols: usize,
+}
+
+impl Region {
+    /// Creates a region descriptor. Emptiness and grid fit are checked at
+    /// use sites (session start), not here, so a region can be built from
+    /// untrusted snapshot data without panicking.
+    #[must_use]
+    pub fn new(first_row: usize, rows: usize, cols: usize) -> Self {
+        Region { first_row, rows, cols }
+    }
+
+    /// The region covering a whole grid (what solo offloads use).
+    #[must_use]
+    pub fn full(grid: GridDim) -> Self {
+        Region { first_row: 0, rows: grid.rows, cols: grid.cols }
+    }
+
+    /// One-past-the-last row owned by the region.
+    #[must_use]
+    pub fn end_row(&self) -> usize {
+        self.first_row + self.rows
+    }
+
+    /// The region's own dimensions (programs validate against these).
+    ///
+    /// # Panics
+    /// Panics for an empty region, like [`GridDim::new`]; callers check
+    /// emptiness first (see [`Region::new`]).
+    #[must_use]
+    pub fn dims(&self) -> GridDim {
+        GridDim::new(self.rows, self.cols)
+    }
+
+    /// `true` when the two regions share any row (disjointness check for
+    /// admission).
+    #[must_use]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.first_row < other.end_row() && other.first_row < self.end_row()
+    }
+
+    /// `true` when the region starts on a [`REGION_ROW_ALIGN`] boundary.
+    #[must_use]
+    pub fn is_aligned(&self) -> bool {
+        self.first_row.is_multiple_of(REGION_ROW_ALIGN)
+    }
+
+    /// `true` when the region fits inside a `rows` × `cols` grid.
+    #[must_use]
+    pub fn fits(&self, rows: usize, cols: usize) -> bool {
+        self.rows > 0 && self.cols > 0 && self.end_row() <= rows && self.cols <= cols
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rows {}..{} x {} cols", self.first_row, self.end_row(), self.cols)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +373,48 @@ mod tests {
                 assert_eq!(h.transfer_latency(a, b), h.transfer_latency(b, a));
                 let r = HalfRingModel::default();
                 assert_eq!(r.transfer_latency(a, b), r.transfer_latency(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn regions_partition_rows() {
+        let grid = GridDim::new(16, 8);
+        let full = Region::full(grid);
+        assert_eq!(full.dims(), grid);
+        assert!(full.is_aligned() && full.fits(16, 8));
+
+        let a = Region::new(0, 4, 8);
+        let b = Region::new(4, 8, 8);
+        let c = Region::new(12, 4, 8);
+        assert!(!a.overlaps(&b) && !b.overlaps(&c) && !a.overlaps(&c));
+        assert!(b.overlaps(&Region::new(8, 8, 8)));
+        assert!(a.overlaps(&a));
+        assert_eq!(b.end_row(), 12);
+        assert!(Region::new(2, 4, 8).fits(16, 8));
+        assert!(!Region::new(2, 4, 8).is_aligned());
+        assert!(!Region::new(14, 4, 8).fits(16, 8), "hangs off the bottom");
+        assert!(!Region::new(0, 4, 9).fits(16, 8), "too wide");
+        assert!(!Region::new(0, 0, 8).fits(16, 8), "empty region never fits");
+        assert_eq!(format!("{c}"), "rows 12..16 x 8 cols");
+    }
+
+    /// The migration-invisibility precondition: half-ring latency depends
+    /// only on relative position, so translating both endpoints by an
+    /// aligned row offset never changes the latency or locality class.
+    #[test]
+    fn half_ring_is_translation_invariant_across_aligned_bands() {
+        let model = HalfRingModel::default();
+        for (a, b) in [
+            (Coord::new(0, 0), Coord::new(3, 7)),
+            (Coord::new(1, 2), Coord::new(1, 3)),
+            (Coord::new(2, 5), Coord::new(0, 0)),
+        ] {
+            for shift in [REGION_ROW_ALIGN, 2 * REGION_ROW_ALIGN, 3 * REGION_ROW_ALIGN] {
+                let a2 = Coord::new(a.row + shift, a.col);
+                let b2 = Coord::new(b.row + shift, b.col);
+                assert_eq!(model.transfer_latency(a, b), model.transfer_latency(a2, b2));
+                assert_eq!(model.is_local(a, b), model.is_local(a2, b2));
             }
         }
     }

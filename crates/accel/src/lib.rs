@@ -24,12 +24,19 @@ pub mod faults;
 pub mod grid;
 pub mod program;
 pub mod reference;
+pub mod snapshot;
 
 pub use bitstream::{decode as decode_bitstream, encode as encode_bitstream, BitstreamError};
 pub use config::{AccelConfig, FpPattern};
 pub use counters::{ActivityStats, NodeCounter, PerfCounters, HOT_NODE_EXPORTS};
-pub use engine::{AccelRunResult, SpatialAccelerator};
+pub use engine::{
+    AccelRunResult, SessionError, SessionRequest, SessionStatus, SpatialAccelerator,
+};
 pub use faults::{FaultLog, FaultPlan, BUS_DROP_PENALTY};
-pub use grid::{Coord, GridDim, HalfRingModel, HierarchicalRowModel, LatencyModel, MeshModel};
+pub use grid::{
+    Coord, GridDim, HalfRingModel, HierarchicalRowModel, LatencyModel, MeshModel, Region,
+    REGION_ROW_ALIGN,
+};
 pub use program::{AccelProgram, NodeConfig, Operand, ProgramError};
 pub use reference::{compare_runs, run_differential, Divergence};
+pub use snapshot::{PlacementSnapshot, SnapshotError, SNAPSHOT_MAGIC};

@@ -199,6 +199,20 @@ impl AccelProgram {
         (max_row + 1).next_multiple_of(4)
     }
 
+    /// A stable 64-bit digest of the whole configuration (FNV-1a over the
+    /// `Debug` rendering, which covers every field). A `PlacementSnapshot`
+    /// records it so a checkpoint can only be resumed against the exact
+    /// program it was taken from.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
     /// Checks structural sanity against a target grid.
     ///
     /// # Errors

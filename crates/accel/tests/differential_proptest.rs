@@ -5,13 +5,14 @@
 //! without injected timing faults, across every grid preset.
 
 use mesa_accel::{
-    run_differential, AccelConfig, AccelProgram, Coord, FaultPlan, NodeConfig, Operand,
-    SpatialAccelerator,
+    run_differential, AccelConfig, AccelProgram, AccelRunResult, Coord, FaultPlan, NodeConfig,
+    Operand, PlacementSnapshot, Region, SessionRequest, SessionStatus, SpatialAccelerator,
 };
 use mesa_isa::reg::abi::*;
 use mesa_isa::{ArchState, Instruction, Opcode, Xlen};
 use mesa_mem::{MemConfig, MemorySystem};
 use mesa_test::{forall, prop_assert, Checker, Rng};
+use mesa_trace::NullTracer;
 
 /// Persisted counterexample seeds, replayed before novel cases (the file
 /// is created on the first failure).
@@ -236,6 +237,147 @@ fn engines_agree_under_injected_timing_faults() {
     forall!(checker("differential::engines_agree_under_injected_timing_faults", 60), |(seed in 0u64..1_000_000, bound in 1u64..80, grid in 0u64..3, drop in 2u64..10)| {
         let faults = FaultPlan { bus_drop_period: drop, ..FaultPlan::none() };
         let outcome = assert_agreement(seed, bound, grid_for(grid), &faults);
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    });
+}
+
+/// Field-by-field equality of two session results — not just the
+/// architectural registers, but timing, counters, activity, and the fault
+/// log. Migration between aligned bands of the same grid must be
+/// *cycle*-invisible, so nothing is allowed to drift.
+fn expect_identical(seed: u64, what: &str, a: &AccelRunResult, b: &AccelRunResult) -> Result<(), String> {
+    if a.iterations != b.iterations
+        || a.cycles != b.cycles
+        || a.completed != b.completed
+        || a.final_regs != b.final_regs
+        || a.counters != b.counters
+        || a.activity != b.activity
+        || a.faults != b.faults
+    {
+        return Err(format!("seed {seed}: {what} diverged from the uninterrupted run"));
+    }
+    Ok(())
+}
+
+/// One migration-invisibility case: run a kernel uninterrupted in the top
+/// band of the grid; run it again, freezing at a (randomly chosen) cycle,
+/// serializing the snapshot to its word stream, decoding it back, and
+/// resuming in a randomly chosen aligned band. Everything observable —
+/// final registers, memory, iteration count, cycle count, per-node
+/// counters — must be identical, with the reference interpreter
+/// arbitrating the seed's ground truth first.
+fn assert_migration_invisible(
+    seed: u64,
+    bound: u64,
+    cfg: AccelConfig,
+    cycle_pick: u64,
+    row_pick: u64,
+    faults: &FaultPlan,
+) -> Result<(), String> {
+    let cols = cfg.grid().cols;
+    let prog = random_program(seed, cols);
+    let band = Region::new(0, 4, cols);
+    if prog.validate(band.dims()).is_err() {
+        return Ok(()); // untranslatable draw; skip
+    }
+    let accel = SpatialAccelerator::new(cfg);
+    let (entry, mem) = entry_and_mem(seed, bound);
+
+    // The straight-line reference interpreter arbitrates this seed.
+    match run_differential(&accel, &prog, &entry, &mem, 0, 100_000, faults) {
+        Err(e) => return Err(format!("seed {seed}: rejected: {e}")),
+        Ok(Some(d)) => return Err(format!("seed {seed}: reference diverges pre-migration: {d}")),
+        Ok(None) => {}
+    }
+
+    let session = |pause: Option<u64>,
+                   resume: Option<&PlacementSnapshot>,
+                   region: Region,
+                   mem: &mut MemorySystem| {
+        let req = SessionRequest {
+            requester: 0,
+            max_iterations: 100_000,
+            faults,
+            region,
+            pause_at_cycle: pause,
+        };
+        accel.run_session(&prog, &entry, mem, &req, resume, &mut NullTracer, 0)
+    };
+
+    let mut mem_solo = mem.clone();
+    let solo = match session(None, None, band, &mut mem_solo) {
+        Ok(SessionStatus::Completed(r)) => r,
+        Ok(SessionStatus::Paused(_)) => {
+            return Err(format!("seed {seed}: un-paused session froze"));
+        }
+        Err(e) => return Err(format!("seed {seed}: solo session rejected: {e}")),
+    };
+
+    let pause_at = cycle_pick % solo.cycles.max(1);
+    let mut mem_mig = mem.clone();
+    match session(Some(pause_at), None, band, &mut mem_mig) {
+        Ok(SessionStatus::Completed(r)) => {
+            // The final round legitimately leapt past the pause point;
+            // there is nothing to migrate, but the run must still match.
+            expect_identical(seed, "pause-skipping run", &solo, &r)?;
+        }
+        Ok(SessionStatus::Paused(snap)) => {
+            let words = snap.to_words();
+            let decoded = PlacementSnapshot::from_words(&words)
+                .map_err(|e| format!("seed {seed}: snapshot roundtrip failed: {e}"))?;
+            if *snap != decoded {
+                return Err(format!("seed {seed}: snapshot words not lossless"));
+            }
+            let bands = (cfg.grid().rows / 4).max(1) as u64;
+            let target = Region::new(4 * (row_pick % bands) as usize, 4, cols);
+            let resumed = match session(None, Some(&decoded), target, &mut mem_mig) {
+                Ok(SessionStatus::Completed(r)) => r,
+                Ok(SessionStatus::Paused(_)) => {
+                    return Err(format!("seed {seed}: resume froze again"));
+                }
+                Err(e) => return Err(format!("seed {seed}: resume rejected: {e}")),
+            };
+            expect_identical(
+                seed,
+                &format!("migration to {target} at cycle {pause_at}"),
+                &solo,
+                &resumed,
+            )?;
+        }
+        Err(e) => return Err(format!("seed {seed}: pausing session rejected: {e}")),
+    }
+
+    // The migrated run's memory effects match word for word.
+    for i in 0..=bound + 8 {
+        let addr = ARR_OUT + 4 * i;
+        let (a, b) = (mem_solo.data_mut().load_u32(addr), mem_mig.data_mut().load_u32(addr));
+        if a != b {
+            return Err(format!("seed {seed}: memory diverges at {addr:#x}: {a} vs {b}"));
+        }
+    }
+    Ok(())
+}
+
+/// The tentpole property: checkpoint at a random cycle, serialize,
+/// migrate to a random aligned band, resume — byte-identical to the run
+/// that never moved (PR 6).
+#[test]
+fn migration_is_invisible_on_random_kernels() {
+    forall!(checker("differential::migration_is_invisible", 110), |(seed in 0u64..1_000_000, bound in 1u64..100, grid in 0u64..3, cycle in 0u64..1_000_000, row in 0u64..8)| {
+        let outcome =
+            assert_migration_invisible(seed, bound, grid_for(grid), cycle, row, &FaultPlan::none());
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    });
+}
+
+/// Migration invisibility must survive injected timing faults: the
+/// snapshot carries the bus fault state, so dropped-token penalties land
+/// on the same iterations whether or not the placement moved.
+#[test]
+fn migration_is_invisible_under_injected_timing_faults() {
+    forall!(checker("differential::migration_is_invisible_under_faults", 60), |(seed in 0u64..1_000_000, bound in 1u64..80, grid in 0u64..3, cycle in 0u64..1_000_000, row in 0u64..8, drop in 2u64..10)| {
+        let faults = FaultPlan { bus_drop_period: drop, ..FaultPlan::none() };
+        let outcome = assert_migration_invisible(seed, bound, grid_for(grid), cycle, row, &faults);
         prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
     });
 }

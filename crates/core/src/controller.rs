@@ -16,13 +16,13 @@ use crate::{
 };
 use mesa_accel::{
     AccelConfig, AccelProgram, ActivityStats, BitstreamError, Coord, FaultLog, FaultPlan,
-    PerfCounters, ProgramError, SpatialAccelerator,
+    PerfCounters, ProgramError, Region, SessionError, SnapshotError, SpatialAccelerator,
 };
 use mesa_cpu::{
     CoreConfig, LoopStreamDetector, OoOCore, PipelineStats, RetireEvent, RetireMonitor,
     RunLimits, StopReason, TraceCache,
 };
-use mesa_isa::{ArchState, OpClass, Program, Reg};
+use mesa_isa::{ArchState, OpClass, ParallelKind, Program, Reg};
 use mesa_mem::{AmatTable, MemConfig, MemTraffic, MemorySystem};
 use mesa_trace::{MetricsRegistry, NullTracer, Subsystem, Tracer};
 use std::fmt;
@@ -108,6 +108,11 @@ pub enum MesaError {
     /// The configuration stream arrived truncated or corrupted at the
     /// accelerator; the region is blacklisted and finishes on the CPU.
     ConfigStream(BitstreamError),
+    /// A placement snapshot failed to decode, or did not match the
+    /// configuration it was restored against.
+    Snapshot(SnapshotError),
+    /// The multi-tenant fabric manager declined the request.
+    Fabric(crate::fabric::FabricError),
 }
 
 impl fmt::Display for MesaError {
@@ -125,6 +130,8 @@ impl fmt::Display for MesaError {
             MesaError::ConfigStream(e) => {
                 write!(f, "configuration stream rejected by the accelerator: {e}")
             }
+            MesaError::Snapshot(e) => write!(f, "placement snapshot rejected: {e}"),
+            MesaError::Fabric(e) => write!(f, "fabric manager declined: {e}"),
         }
     }
 }
@@ -134,6 +141,27 @@ impl std::error::Error for MesaError {}
 impl From<ProgramError> for MesaError {
     fn from(e: ProgramError) -> Self {
         MesaError::Accel(e)
+    }
+}
+
+impl From<SnapshotError> for MesaError {
+    fn from(e: SnapshotError) -> Self {
+        MesaError::Snapshot(e)
+    }
+}
+
+impl From<SessionError> for MesaError {
+    fn from(e: SessionError) -> Self {
+        match e {
+            SessionError::Program(p) => MesaError::Accel(p),
+            SessionError::Snapshot(s) => MesaError::Snapshot(s),
+        }
+    }
+}
+
+impl From<crate::fabric::FabricError> for MesaError {
+    fn from(e: crate::fabric::FabricError) -> Self {
+        MesaError::Fabric(e)
     }
 }
 
@@ -196,6 +224,14 @@ pub struct OffloadReport {
     pub counters: PerfCounters,
     /// Injected-fault events observed (and survived) during the episode.
     pub faults: FaultLog,
+    /// Tenant that owned the episode on a shared fabric (`0` for solo
+    /// offloads, which are the only tenant by definition).
+    pub tenant: u32,
+    /// Grid region the accelerated phase ran in — its final home if it
+    /// migrated. `None` for solo offloads, which own the whole grid.
+    pub fabric_region: Option<Region>,
+    /// Times the placement was checkpointed and relocated mid-episode.
+    pub migrations: u32,
 }
 
 impl OffloadReport {
@@ -239,6 +275,7 @@ impl OffloadReport {
         reg.add("offload.unmapped_nodes", self.unmapped_nodes as u64);
         reg.add("offload.from_cache", u64::from(self.from_cache));
         reg.add("offload.reopt_rounds", self.reopt_rounds.len() as u64);
+        reg.add("offload.migrations", u64::from(self.migrations));
         reg.gauge("offload.cycles_per_iteration", self.cycles_per_iteration());
         self.cpu_phase_traffic.record_metrics(reg, "offload.cpu_phase");
         self.cpu_pipeline.record_metrics(reg, "offload.cpu_pipeline");
@@ -321,6 +358,35 @@ impl RetireMonitor for WarmupMonitor {
             }
         }
     }
+}
+
+/// Everything F1 + F2 produced for one episode, frozen at the instant
+/// control would transfer to the accelerator: the mapped configuration,
+/// the latency-weighted DFG it came from, the cycle clock, and the full
+/// CPU-side accounting. [`MesaController::finish_episode`] consumes it to
+/// run the solo F3 phase; the fabric manager instead admits it onto a
+/// shared grid as one tenant among several.
+#[derive(Debug)]
+pub(crate) struct PreparedEpisode {
+    pub(crate) start_pc: u64,
+    pub(crate) end_pc: u64,
+    pub(crate) warmup_cycles: u64,
+    pub(crate) warmup_instrs: u64,
+    pub(crate) cpu_pipeline: PipelineStats,
+    pub(crate) config: ConfigLatency,
+    pub(crate) config_phase_cpu_cycles: u64,
+    pub(crate) cpu_iterations_during_config: u64,
+    pub(crate) accel_prog: AccelProgram,
+    pub(crate) ldfg: crate::Ldfg,
+    pub(crate) expected_iterations: u64,
+    pub(crate) initial_estimate: u64,
+    pub(crate) from_cache: bool,
+    pub(crate) unmapped_nodes: usize,
+    pub(crate) annotation: Option<ParallelKind>,
+    pub(crate) fault_plan: FaultPlan,
+    pub(crate) fault_log: FaultLog,
+    pub(crate) cpu_phase_traffic: MemTraffic,
+    pub(crate) now: u64,
 }
 
 /// The MESA hardware controller.
@@ -420,11 +486,26 @@ impl MesaController {
         cpu: &mut OoOCore,
         tracer: &mut dyn Tracer,
     ) -> Result<OffloadReport, MesaError> {
+        let prepared = self.prepare_episode(program, state, mem, cpu, tracer)?;
+        self.finish_episode(prepared, state, mem, tracer)
+    }
+
+    /// F1 + F2: monitor until a hot loop emerges, translate and map it,
+    /// pay the configuration latency while the CPU keeps running, and
+    /// freeze the episode at the instant control would transfer to the
+    /// accelerator.
+    pub(crate) fn prepare_episode(
+        &mut self,
+        program: &Program,
+        state: &mut ArchState,
+        mem: &mut MemorySystem,
+        cpu: &mut OoOCore,
+        tracer: &mut dyn Tracer,
+    ) -> Result<PreparedEpisode, MesaError> {
         if mem.requesters() < 2 {
             return Err(MesaError::NeedTwoRequesters);
         }
         const CPU: usize = 0;
-        const ACCEL: usize = 1;
 
         tracer.span_begin(Subsystem::Controller, "detect", 0);
         tracer.span_begin(Subsystem::Cpu, "cpu.warmup", 0);
@@ -743,11 +824,68 @@ impl MesaController {
         // Episode clock at the start of accelerated execution: the longer
         // of the configuration pipeline and the overlapped CPU execution
         // governs (they run concurrently).
-        let mut now = warmup_cycles + config.total().max(config_phase_cpu_cycles);
+        let now = warmup_cycles + config.total().max(config_phase_cpu_cycles);
         // Everything the memory system has seen so far is CPU-side work
         // (warmup + config overlap); sample it so harnesses can attribute
         // the rest of the episode's traffic to the accelerator.
         let cpu_phase_traffic = mem.traffic();
+
+        Ok(PreparedEpisode {
+            start_pc: hot.start_pc,
+            end_pc: hot.end_pc,
+            warmup_cycles,
+            warmup_instrs,
+            cpu_pipeline,
+            config,
+            config_phase_cpu_cycles,
+            cpu_iterations_during_config,
+            accel_prog,
+            ldfg,
+            expected_iterations,
+            initial_estimate,
+            from_cache,
+            unmapped_nodes,
+            annotation,
+            fault_plan,
+            fault_log,
+            cpu_phase_traffic,
+            now,
+        })
+    }
+
+    /// F3: the solo accelerated phase of an episode produced by
+    /// [`prepare_episode`](Self::prepare_episode) — the whole grid belongs
+    /// to this loop, and the controller re-optimizes the placement from
+    /// latency counters measured on the accelerator.
+    pub(crate) fn finish_episode(
+        &mut self,
+        prepared: PreparedEpisode,
+        state: &mut ArchState,
+        mem: &mut MemorySystem,
+        tracer: &mut dyn Tracer,
+    ) -> Result<OffloadReport, MesaError> {
+        const ACCEL: usize = 1;
+        let PreparedEpisode {
+            start_pc,
+            end_pc,
+            warmup_cycles,
+            warmup_instrs,
+            cpu_pipeline,
+            config,
+            config_phase_cpu_cycles,
+            cpu_iterations_during_config,
+            accel_prog,
+            mut ldfg,
+            expected_iterations,
+            initial_estimate,
+            from_cache,
+            unmapped_nodes,
+            annotation,
+            fault_plan,
+            mut fault_log,
+            cpu_phase_traffic,
+            mut now,
+        } = prepared;
 
         // ---- offload: run on the accelerator, optionally re-optimizing ----
         let mut activity = ActivityStats::default();
@@ -920,10 +1058,10 @@ impl MesaController {
         }
 
         // Control returns to the CPU just past the loop (§5.1).
-        state.pc = hot.end_pc;
+        state.pc = end_pc;
 
         Ok(OffloadReport {
-            region: (hot.start_pc, hot.end_pc),
+            region: (start_pc, end_pc),
             warmup_cycles,
             warmup_instrs,
             config,
@@ -946,6 +1084,9 @@ impl MesaController {
             activity,
             counters,
             faults: fault_log,
+            tenant: 0,
+            fabric_region: None,
+            migrations: 0,
         })
     }
 
@@ -1060,7 +1201,7 @@ impl ProgramRunReport {
 }
 
 /// Applies accelerator live-outs to the architectural state.
-fn apply_live_outs(
+pub(crate) fn apply_live_outs(
     state: &mut ArchState,
     prog: &AccelProgram,
     final_regs: &[(Reg, u64)],

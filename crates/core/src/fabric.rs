@@ -1,0 +1,893 @@
+//! Multi-tenant virtualization of the spatial fabric.
+//!
+//! The paper's controller owns the whole PE grid for one loop at a time.
+//! This module turns the grid into a shared resource: the
+//! [`FabricManager`] carves it into disjoint row bands ([`Region`]s,
+//! aligned to the FP-pattern period so every band sees identical PE
+//! capabilities), admits concurrently prepared episodes as *tenants*, and
+//! time-slices the engine between them at iteration-round boundaries.
+//!
+//! Admission reuses the spirit of the C1–C3 decline machinery (§4.1): a
+//! region that does not fit is not rejected outright — it first *shrinks*
+//! (fewer spatial tiles, the C2 analog) and failing that it *queues* until
+//! a band frees up. Only a loop that cannot fit even a single tile on an
+//! empty grid is declined with [`FabricError::NoCapacity`].
+//!
+//! Every tenant's execution state is a [`PlacementSnapshot`]: the manager
+//! can [`checkpoint`](FabricManager::checkpoint) it to a word stream,
+//! [`restore`](FabricManager::restore) it, and
+//! [`migrate`](FabricManager::migrate) the frozen placement to a different
+//! band — the half-ring NoC is translation invariant across aligned bands,
+//! so a migrated tenant's timing is bit-identical to one that never moved.
+
+use crate::controller::{
+    apply_live_outs, MesaController, MesaError, OffloadReport, PreparedEpisode, SystemConfig,
+};
+use mesa_accel::{
+    AccelConfig, AccelProgram, AccelRunResult, FaultPlan, PlacementSnapshot, ProgramError,
+    Region, SessionError, SessionRequest, SessionStatus, SnapshotError, SpatialAccelerator,
+    REGION_ROW_ALIGN,
+};
+use mesa_cpu::OoOCore;
+use mesa_isa::ArchState;
+use mesa_mem::MemorySystem;
+use mesa_trace::{NullTracer, Subsystem, Tracer};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies one tenant of the shared fabric (dense, starting at 0).
+pub type TenantId = u32;
+
+/// How an admission request was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The tenant got a band sized for its full tile count.
+    Admitted(Region),
+    /// The C2 analog: the full tiling did not fit next to the existing
+    /// tenants, so the program was re-tiled down to the largest band
+    /// available and admitted there.
+    Shrunk {
+        /// The band the shrunk program runs in.
+        region: Region,
+        /// Tiles the program asked for.
+        tiles_before: usize,
+        /// Tiles it runs with.
+        tiles_after: usize,
+    },
+    /// No band is free right now; the tenant waits in FIFO order and is
+    /// placed when a running tenant completes.
+    Queued,
+}
+
+/// Progress of one scheduling slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantProgress {
+    /// Frozen at a round boundary; the value is the session clock so far.
+    Paused(u64),
+    /// The loop exited (or exhausted its budget); total session cycles.
+    Completed(u64),
+    /// Still waiting in the admission queue.
+    Queued,
+}
+
+/// Failure modes of the fabric manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// The tenant id was never issued.
+    UnknownTenant(TenantId),
+    /// Even a single tile does not fit on an empty grid.
+    NoCapacity {
+        /// Rows the smallest viable region needs.
+        rows_needed: usize,
+        /// Rows the grid has.
+        rows_total: usize,
+    },
+    /// The requested migration target overlaps another tenant's band.
+    RegionBusy(Region),
+    /// The requested region does not start on the alignment boundary.
+    RegionMisaligned(Region),
+    /// The tenant is still queued and has no execution state to act on.
+    StillQueued(TenantId),
+    /// The tenant is not frozen, so there is no snapshot to checkpoint,
+    /// restore over, or migrate.
+    NotPaused(TenantId),
+    /// A snapshot failed to decode or did not match the tenant's binding.
+    Snapshot(SnapshotError),
+    /// The tenant's program failed validation against its region.
+    Session(ProgramError),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
+            FabricError::NoCapacity { rows_needed, rows_total } => {
+                write!(f, "no capacity: {rows_needed} rows needed, grid has {rows_total}")
+            }
+            FabricError::RegionBusy(r) => write!(f, "region {r} overlaps another tenant"),
+            FabricError::RegionMisaligned(r) => write!(
+                f,
+                "region {r} not aligned to {REGION_ROW_ALIGN}-row boundary"
+            ),
+            FabricError::StillQueued(id) => write!(f, "tenant {id} is still queued"),
+            FabricError::NotPaused(id) => write!(f, "tenant {id} is not paused"),
+            FabricError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
+            FabricError::Session(e) => write!(f, "session rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<SnapshotError> for FabricError {
+    fn from(e: SnapshotError) -> Self {
+        FabricError::Snapshot(e)
+    }
+}
+
+impl From<SessionError> for FabricError {
+    fn from(e: SessionError) -> Self {
+        match e {
+            SessionError::Program(p) => FabricError::Session(p),
+            SessionError::Snapshot(s) => FabricError::Snapshot(s),
+        }
+    }
+}
+
+/// One admitted (or queued) loop on the shared fabric.
+#[derive(Debug)]
+struct Tenant {
+    /// Band currently owned (`None` while queued or after completion).
+    region: Option<Region>,
+    /// Band the tenant last ran in, kept for reporting after completion.
+    last_region: Option<Region>,
+    program: AccelProgram,
+    entry: ArchState,
+    faults: FaultPlan,
+    max_iterations: u64,
+    /// Present exactly while the tenant is frozen mid-episode.
+    snapshot: Option<PlacementSnapshot>,
+    /// Present once the tenant's loop has finished.
+    result: Option<AccelRunResult>,
+    migrations: u32,
+}
+
+/// Carves one spatial accelerator's grid into per-tenant row bands and
+/// time-slices the engine between them. See the module docs.
+#[derive(Debug)]
+pub struct FabricManager {
+    accel: SpatialAccelerator,
+    cfg: AccelConfig,
+    tenants: Vec<Tenant>,
+    /// Tenants waiting for a band, in admission order (head is placed
+    /// first — later arrivals never jump the queue).
+    queue: VecDeque<TenantId>,
+}
+
+impl FabricManager {
+    /// A manager for one grid of the given configuration.
+    #[must_use]
+    pub fn new(cfg: AccelConfig) -> Self {
+        FabricManager {
+            accel: SpatialAccelerator::new(cfg),
+            cfg,
+            tenants: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Rows an instance of `prog` with `tiles` tiles occupies, rounded up
+    /// to the band alignment.
+    fn rows_for(prog: &AccelProgram, tiles: usize) -> usize {
+        (tiles.max(1) * prog.rows_per_tile()).next_multiple_of(REGION_ROW_ALIGN)
+    }
+
+    /// Lowest aligned start row of a free band of `rows` rows, skipping
+    /// `exclude`'s own band (for migration) and, optionally, a forbidden
+    /// start row (to force migration to actually move).
+    fn free_band(
+        &self,
+        rows: usize,
+        exclude: Option<TenantId>,
+        not_at: Option<usize>,
+    ) -> Option<usize> {
+        let total = self.cfg.grid().rows;
+        let cols = self.cfg.grid().cols;
+        let mut first = 0;
+        while first + rows <= total {
+            let cand = Region::new(first, rows, cols);
+            let busy = self.tenants.iter().enumerate().any(|(i, t)| {
+                exclude != Some(i as TenantId)
+                    && t.region.is_some_and(|r| r.overlaps(&cand))
+            });
+            if !busy && not_at != Some(first) {
+                return Some(first);
+            }
+            first += REGION_ROW_ALIGN;
+        }
+        None
+    }
+
+    /// Largest free aligned band, as `(first_row, rows)`; ties go to the
+    /// lowest start row.
+    fn largest_free_band(&self) -> (usize, usize) {
+        let total = self.cfg.grid().rows;
+        let mut row_busy = vec![false; total];
+        for t in &self.tenants {
+            if let Some(r) = t.region {
+                for row in row_busy.iter_mut().take(r.end_row().min(total)).skip(r.first_row) {
+                    *row = true;
+                }
+            }
+        }
+        let mut best = (0, 0);
+        let mut first = 0;
+        while first + REGION_ROW_ALIGN <= total {
+            let mut rows = 0;
+            while first + rows + REGION_ROW_ALIGN <= total
+                && row_busy[first + rows..first + rows + REGION_ROW_ALIGN]
+                    .iter()
+                    .all(|&b| !b)
+            {
+                rows += REGION_ROW_ALIGN;
+            }
+            if rows > best.1 {
+                best = (first, rows);
+            }
+            first += REGION_ROW_ALIGN;
+        }
+        best
+    }
+
+    /// Admits a prepared configuration as a new tenant.
+    ///
+    /// `entry` is the architectural state at loop entry; `max_iterations`
+    /// bounds the tenant's cumulative iteration count. Returns the id and
+    /// how the placement was resolved (full band, shrunk band, or queued).
+    ///
+    /// # Errors
+    /// [`FabricError::NoCapacity`] when even one tile exceeds the grid.
+    pub fn admit(
+        &mut self,
+        mut program: AccelProgram,
+        entry: ArchState,
+        faults: FaultPlan,
+        max_iterations: u64,
+    ) -> Result<(TenantId, Admission), FabricError> {
+        let rows_total = self.cfg.grid().rows;
+        let min_rows = Self::rows_for(&program, 1);
+        if min_rows > rows_total {
+            return Err(FabricError::NoCapacity { rows_needed: min_rows, rows_total });
+        }
+        let id = self.tenants.len() as TenantId;
+        let cols = self.cfg.grid().cols;
+        let want = Self::rows_for(&program, program.tiles);
+        let admission = if let Some(first) = self.free_band(want, None, None) {
+            Admission::Admitted(Region::new(first, want, cols))
+        } else {
+            // C2 analog: the full tiling does not fit beside the current
+            // tenants — re-tile down to the largest free band.
+            let (first, avail) = self.largest_free_band();
+            let mut tiles_fit = (avail / program.rows_per_tile().max(1)).min(program.tiles);
+            while tiles_fit > 1 && Self::rows_for(&program, tiles_fit) > avail {
+                tiles_fit -= 1;
+            }
+            if program.tiles > 1 && tiles_fit >= 1 && Self::rows_for(&program, tiles_fit) <= avail
+            {
+                let tiles_before = program.tiles;
+                program.tiles = tiles_fit;
+                Admission::Shrunk {
+                    region: Region::new(first, Self::rows_for(&program, tiles_fit), cols),
+                    tiles_before,
+                    tiles_after: tiles_fit,
+                }
+            } else {
+                Admission::Queued
+            }
+        };
+        let region = match admission {
+            Admission::Admitted(r) | Admission::Shrunk { region: r, .. } => Some(r),
+            Admission::Queued => None,
+        };
+        self.tenants.push(Tenant {
+            region,
+            last_region: region,
+            program,
+            entry,
+            faults,
+            max_iterations,
+            snapshot: None,
+            result: None,
+            migrations: 0,
+        });
+        if region.is_none() {
+            self.queue.push_back(id);
+        }
+        Ok((id, admission))
+    }
+
+    /// Places queued tenants (head of line first) into bands freed by a
+    /// completion. Later arrivals never jump an unplaceable head, so
+    /// admission order is a total order on placement.
+    fn promote(&mut self) {
+        while let Some(&id) = self.queue.front() {
+            let Some(t) = self.tenants.get(id as usize) else {
+                self.queue.pop_front();
+                continue;
+            };
+            let want = Self::rows_for(&t.program, t.program.tiles);
+            let Some(first) = self.free_band(want, None, None) else { break };
+            let region = Region::new(first, want, self.cfg.grid().cols);
+            if let Some(t) = self.tenants.get_mut(id as usize) {
+                t.region = Some(region);
+                t.last_region = Some(region);
+            }
+            self.queue.pop_front();
+        }
+    }
+
+    /// Runs one scheduling slice of tenant `id`: at most `quantum` more
+    /// session cycles, frozen at the next round boundary past that.
+    /// `quantum == u64::MAX` runs the tenant to completion. Completing a
+    /// tenant frees its band and promotes the queue.
+    ///
+    /// Idempotent on finished tenants, and a no-op on queued ones.
+    ///
+    /// # Errors
+    /// [`FabricError::UnknownTenant`], or any engine/session failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn advance(
+        &mut self,
+        id: TenantId,
+        mem: &mut MemorySystem,
+        requester: usize,
+        quantum: u64,
+        tracer: &mut dyn Tracer,
+        cycle_base: u64,
+    ) -> Result<TenantProgress, FabricError> {
+        let t = self
+            .tenants
+            .get_mut(id as usize)
+            .ok_or(FabricError::UnknownTenant(id))?;
+        if let Some(r) = &t.result {
+            return Ok(TenantProgress::Completed(r.cycles));
+        }
+        let Some(region) = t.region else { return Ok(TenantProgress::Queued) };
+        // A zero quantum could freeze at the current clock without running
+        // a round; one cycle forces at least one round of progress.
+        let quantum = quantum.max(1);
+        let pause_at_cycle = if quantum == u64::MAX {
+            None
+        } else {
+            let base = t.snapshot.as_ref().map_or(0, PlacementSnapshot::cycles);
+            Some(base.saturating_add(quantum))
+        };
+        let req = SessionRequest {
+            requester,
+            max_iterations: t.max_iterations,
+            faults: &t.faults,
+            region,
+            pause_at_cycle,
+        };
+        let status = self
+            .accel
+            .run_session(
+                &t.program,
+                &t.entry,
+                mem,
+                &req,
+                t.snapshot.as_ref(),
+                tracer,
+                cycle_base,
+            )
+            .map_err(FabricError::from)?;
+        let progress = match status {
+            SessionStatus::Completed(r) => {
+                let cycles = r.cycles;
+                t.result = Some(r);
+                t.snapshot = None;
+                t.region = None;
+                TenantProgress::Completed(cycles)
+            }
+            SessionStatus::Paused(s) => {
+                let cycles = s.cycles();
+                t.snapshot = Some(*s);
+                TenantProgress::Paused(cycles)
+            }
+        };
+        if matches!(progress, TenantProgress::Completed(_)) {
+            self.promote();
+        }
+        Ok(progress)
+    }
+
+    /// Serializes tenant `id`'s frozen execution state to a word stream
+    /// (see [`PlacementSnapshot::to_words`] for the format).
+    ///
+    /// # Errors
+    /// [`FabricError::NotPaused`] unless the tenant is frozen.
+    pub fn checkpoint(&self, id: TenantId) -> Result<Vec<u64>, FabricError> {
+        let t = self.tenants.get(id as usize).ok_or(FabricError::UnknownTenant(id))?;
+        t.snapshot
+            .as_ref()
+            .map(PlacementSnapshot::to_words)
+            .ok_or(FabricError::NotPaused(id))
+    }
+
+    /// Decodes `words` and installs the snapshot as tenant `id`'s frozen
+    /// state, after verifying it binds to the tenant's program, band
+    /// height, and fault plan. A corrupted or truncated stream declines
+    /// with a typed error and leaves the tenant untouched.
+    ///
+    /// # Errors
+    /// [`FabricError::Snapshot`] on decode/binding failures;
+    /// [`FabricError::StillQueued`] when the tenant has no band yet.
+    pub fn restore(&mut self, id: TenantId, words: &[u64]) -> Result<(), FabricError> {
+        let t = self
+            .tenants
+            .get_mut(id as usize)
+            .ok_or(FabricError::UnknownTenant(id))?;
+        let region = t.region.ok_or(FabricError::StillQueued(id))?;
+        let snap = PlacementSnapshot::from_words(words)?;
+        snap.check_compatible(&t.program, region, &t.faults)?;
+        t.snapshot = Some(snap);
+        t.result = None;
+        Ok(())
+    }
+
+    /// Relocates the frozen tenant `id` to the band starting at
+    /// `first_row` (same height). The next [`advance`](Self::advance)
+    /// resumes there; aligned bands are translation-invariant, so the
+    /// relocated run's timing is identical to one that never moved.
+    ///
+    /// # Errors
+    /// [`FabricError::NotPaused`] unless frozen;
+    /// [`FabricError::RegionMisaligned`] / [`FabricError::RegionBusy`] /
+    /// [`FabricError::NoCapacity`] for bad targets.
+    pub fn migrate(
+        &mut self,
+        id: TenantId,
+        first_row: usize,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Region, FabricError> {
+        let idx = id as usize;
+        let (old, cycles) = {
+            let t = self.tenants.get(idx).ok_or(FabricError::UnknownTenant(id))?;
+            let old = t.region.ok_or(FabricError::StillQueued(id))?;
+            let snap = t.snapshot.as_ref().ok_or(FabricError::NotPaused(id))?;
+            (old, snap.cycles())
+        };
+        let target = Region::new(first_row, old.rows, old.cols);
+        if !target.is_aligned() {
+            return Err(FabricError::RegionMisaligned(target));
+        }
+        if !target.fits(self.cfg.grid().rows, self.cfg.grid().cols) {
+            return Err(FabricError::NoCapacity {
+                rows_needed: target.end_row(),
+                rows_total: self.cfg.grid().rows,
+            });
+        }
+        let busy = self.tenants.iter().enumerate().any(|(i, t)| {
+            i != idx && t.region.is_some_and(|r| r.overlaps(&target))
+        });
+        if busy {
+            return Err(FabricError::RegionBusy(target));
+        }
+        if let Some(t) = self.tenants.get_mut(idx) {
+            t.region = Some(target);
+            t.last_region = Some(target);
+            t.migrations += 1;
+        }
+        if tracer.enabled() {
+            tracer.instant(
+                Subsystem::Controller,
+                "migrate",
+                &format!("tenant {id}: {old} -> {target}"),
+                cycles,
+            );
+        }
+        Ok(target)
+    }
+
+    /// Lowest free aligned start row tenant `id` could migrate to, other
+    /// than where it already is (`None` when the grid is too full).
+    #[must_use]
+    pub fn migration_target(&self, id: TenantId) -> Option<usize> {
+        let t = self.tenants.get(id as usize)?;
+        let region = t.region?;
+        self.free_band(region.rows, Some(id), Some(region.first_row))
+    }
+
+    /// The band tenant `id` currently owns (`None` while queued or after
+    /// completion).
+    #[must_use]
+    pub fn region(&self, id: TenantId) -> Option<Region> {
+        self.tenants.get(id as usize).and_then(|t| t.region)
+    }
+
+    /// The band tenant `id` last ran in (survives completion).
+    #[must_use]
+    pub fn last_region(&self, id: TenantId) -> Option<Region> {
+        self.tenants.get(id as usize).and_then(|t| t.last_region)
+    }
+
+    /// Times tenant `id` was migrated.
+    #[must_use]
+    pub fn migrations(&self, id: TenantId) -> u32 {
+        self.tenants.get(id as usize).map_or(0, |t| t.migrations)
+    }
+
+    /// The tenant's (possibly shrunk) configuration.
+    #[must_use]
+    pub fn program(&self, id: TenantId) -> Option<&AccelProgram> {
+        self.tenants.get(id as usize).map(|t| &t.program)
+    }
+
+    /// The finished tenant's result, if it has completed.
+    #[must_use]
+    pub fn result(&self, id: TenantId) -> Option<&AccelRunResult> {
+        self.tenants.get(id as usize).and_then(|t| t.result.as_ref())
+    }
+
+    /// `true` while tenant `id` waits for a band.
+    #[must_use]
+    pub fn is_queued(&self, id: TenantId) -> bool {
+        self.tenants.get(id as usize).is_some_and(|t| t.region.is_none() && t.result.is_none())
+    }
+}
+
+/// One loop's worth of work for [`run_tenants`]: its program, the
+/// architectural state to start monitoring from, and a private memory
+/// system (tenants are address-space isolated; nothing is shared).
+#[derive(Debug)]
+pub struct TenantJob {
+    /// The program containing the hot loop.
+    pub program: mesa_isa::Program,
+    /// Architectural entry state; left at the post-loop state on success.
+    pub state: ArchState,
+    /// The tenant's private memory system (needs two requester ports).
+    pub mem: MemorySystem,
+    /// Fault plan armed for this tenant's episode (default benign).
+    pub faults: FaultPlan,
+}
+
+impl TenantJob {
+    /// A job with no faults armed.
+    #[must_use]
+    pub fn new(program: mesa_isa::Program, state: ArchState, mem: MemorySystem) -> Self {
+        TenantJob { program, state, mem, faults: FaultPlan::none() }
+    }
+}
+
+/// Bookkeeping for one job while it runs on the shared fabric.
+struct Slot {
+    id: TenantId,
+    ep: PreparedEpisode,
+    /// Episode-relative clock for this tenant's trace spans.
+    now: u64,
+    /// Session cycles already accounted into `now`.
+    counted: u64,
+    slices: u64,
+}
+
+/// Runs `jobs` as concurrent tenants of one shared fabric.
+///
+/// Each job is first prepared solo (F1 monitoring and F2 configuration on
+/// its own CPU and memory), then admitted to a [`FabricManager`] which
+/// round-robins `quantum`-cycle slices over the admitted tenants in
+/// admission order. When `migrate_every > 0`, every such-manieth slice of
+/// a tenant checkpoints it and relocates it to the lowest other free band
+/// — exercising migration invisibility on every run.
+///
+/// Tenant episodes skip F3 re-optimization (the measured-latency feedback
+/// loop assumes grid ownership); reports have `reconfigurations == 0` and
+/// carry the tenant id, final band, and migration count.
+///
+/// Returns one outcome per job, in job order: declines (no loop, C1–C3
+/// rejection, truncated config, admission failure) are reported as typed
+/// errors, exactly like solo offloads.
+pub fn run_tenants(
+    system: &SystemConfig,
+    jobs: &mut [TenantJob],
+    quantum: u64,
+    migrate_every: u64,
+) -> Vec<Result<OffloadReport, MesaError>> {
+    run_tenants_traced(system, jobs, quantum, migrate_every, &mut NullTracer)
+}
+
+/// [`run_tenants`] with tracing: per-tenant spans ride each tenant's own
+/// episode-relative clock, and migrations surface as `migrate` instants.
+pub fn run_tenants_traced(
+    system: &SystemConfig,
+    jobs: &mut [TenantJob],
+    quantum: u64,
+    migrate_every: u64,
+    tracer: &mut dyn Tracer,
+) -> Vec<Result<OffloadReport, MesaError>> {
+    const ACCEL: usize = 1;
+    let mut manager = FabricManager::new(system.accel);
+    let mut outcomes: Vec<Option<Result<OffloadReport, MesaError>>> =
+        jobs.iter().map(|_| None).collect();
+    let mut slots: Vec<Option<Slot>> = Vec::with_capacity(jobs.len());
+
+    // ---- phase 1: prepare every job solo, admit the survivors ----
+    for (i, job) in jobs.iter_mut().enumerate() {
+        // A fresh controller per tenant: config/trace caches are keyed by
+        // PC range, and unrelated tenants may reuse the same addresses.
+        let mut ctl = MesaController::new(system.clone());
+        if !job.faults.is_benign() {
+            ctl.set_fault_plan(Some(job.faults.clone()));
+        }
+        let mut cpu = OoOCore::new(system.core);
+        match ctl.prepare_episode(&job.program, &mut job.state, &mut job.mem, &mut cpu, tracer)
+        {
+            Ok(ep) => {
+                match manager.admit(
+                    ep.accel_prog.clone(),
+                    job.state.clone(),
+                    ep.fault_plan.clone(),
+                    system.max_accel_iterations,
+                ) {
+                    Ok((id, _admission)) => {
+                        let now = ep.now;
+                        tracer.span_begin(Subsystem::Controller, "offload", now);
+                        slots.push(Some(Slot { id, ep, now, counted: 0, slices: 0 }));
+                    }
+                    Err(e) => {
+                        outcomes[i] = Some(Err(e.into()));
+                        slots.push(None);
+                    }
+                }
+            }
+            Err(e) => {
+                outcomes[i] = Some(Err(e));
+                slots.push(None);
+            }
+        }
+    }
+
+    // ---- phase 2: round-robin quantum slices in admission order ----
+    let mut remaining = slots.iter().filter(|s| s.is_some()).count();
+    while remaining > 0 {
+        let mut advanced_any = false;
+        for i in 0..slots.len() {
+            if outcomes[i].is_some() {
+                continue;
+            }
+            let Some(slot) = slots[i].as_mut() else { continue };
+            let progress =
+                manager.advance(slot.id, &mut jobs[i].mem, ACCEL, quantum, tracer, slot.now);
+            match progress {
+                Ok(TenantProgress::Queued) => {}
+                Ok(TenantProgress::Paused(total)) => {
+                    advanced_any = true;
+                    slot.now += total - slot.counted;
+                    slot.counted = total;
+                    slot.slices += 1;
+                    if migrate_every > 0 && slot.slices % migrate_every == 0 {
+                        if let Some(row) = manager.migration_target(slot.id) {
+                            // A full grid is not an error — the tenant
+                            // simply stays where it is this round.
+                            let _ = manager.migrate(slot.id, row, tracer);
+                        }
+                    }
+                }
+                Ok(TenantProgress::Completed(total)) => {
+                    advanced_any = true;
+                    slot.now += total - slot.counted;
+                    slot.counted = total;
+                    let report = finish_tenant(&manager, slot, &mut jobs[i].state, tracer);
+                    outcomes[i] = Some(report);
+                    remaining -= 1;
+                }
+                Err(e) => {
+                    tracer.span_end(Subsystem::Controller, "offload", slot.now);
+                    outcomes[i] = Some(Err(e.into()));
+                    remaining -= 1;
+                }
+            }
+        }
+        if !advanced_any && remaining > 0 {
+            // Every live tenant is queued and nothing is running to free a
+            // band — impossible unless admission raced a failure path.
+            // Decline the stragglers rather than spinning forever.
+            for i in 0..slots.len() {
+                if outcomes[i].is_none() {
+                    if let Some(slot) = &slots[i] {
+                        outcomes[i] =
+                            Some(Err(FabricError::StillQueued(slot.id).into()));
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    outcomes
+        .into_iter()
+        .map(|o| o.unwrap_or(Err(MesaError::NoLoopDetected)))
+        .collect()
+}
+
+/// Assembles the per-tenant [`OffloadReport`] once its session completes.
+fn finish_tenant(
+    manager: &FabricManager,
+    slot: &Slot,
+    state: &mut ArchState,
+    tracer: &mut dyn Tracer,
+) -> Result<OffloadReport, MesaError> {
+    let ep = &slot.ep;
+    let (Some(prog), Some(r)) = (manager.program(slot.id), manager.result(slot.id)) else {
+        return Err(FabricError::UnknownTenant(slot.id).into());
+    };
+    let induction = ep.ldfg.induction_nodes();
+    apply_live_outs(state, prog, &r.final_regs, &induction, &ep.ldfg, r.iterations);
+    state.pc = ep.end_pc;
+    let mut fault_log = ep.fault_log;
+    fault_log.merge(&r.faults);
+    tracer.span_end(Subsystem::Controller, "offload", slot.now);
+    Ok(OffloadReport {
+        region: (ep.start_pc, ep.end_pc),
+        warmup_cycles: ep.warmup_cycles,
+        warmup_instrs: ep.warmup_instrs,
+        config: ep.config,
+        config_phase_cpu_cycles: ep.config_phase_cpu_cycles,
+        cpu_iterations_during_config: ep.cpu_iterations_during_config,
+        reconfig_cycles: 0,
+        reconfigurations: 0,
+        accel_cycles: r.cycles,
+        accel_iterations: r.iterations,
+        tiles: prog.tiles,
+        pipelined: prog.pipelined,
+        unmapped_nodes: ep.unmapped_nodes,
+        expected_iterations: ep.expected_iterations,
+        initial_estimate: ep.initial_estimate,
+        from_cache: ep.from_cache,
+        cpu_phase_traffic: ep.cpu_phase_traffic,
+        cpu_pipeline: ep.cpu_pipeline,
+        placement: prog.nodes.iter().map(|n| n.coord).collect(),
+        reopt_rounds: Vec::new(),
+        activity: r.activity,
+        counters: r.counters.clone(),
+        faults: fault_log,
+        tenant: slot.id,
+        fabric_region: manager.last_region(slot.id),
+        migrations: manager.migrations(slot.id),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesa_isa::reg::abi::*;
+    use mesa_isa::{Asm, ArchState, Program, Xlen};
+    use mesa_mem::MemConfig;
+
+    const BASE: u64 = 0x10_0000;
+    const OUT: u64 = 0x20_0000;
+
+    /// sum += a[i] over n elements (serial: one tile, no shrink noise).
+    fn sum_job(n: u64) -> TenantJob {
+        let mut a = Asm::new(0x1000);
+        a.label("loop");
+        a.lw(T0, A0, 0);
+        a.add(T1, T1, T0);
+        a.addi(A0, A0, 4);
+        a.bne(A0, A1, "loop");
+        a.sw(T1, A2, 0);
+        a.li(A7, 93);
+        a.ecall();
+        let p: Program = a.finish().unwrap();
+        let mut st = ArchState::new(0x1000, Xlen::Rv32);
+        st.write(A0, BASE);
+        st.write(A1, BASE + 4 * n);
+        st.write(A2, OUT);
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        for i in 0..n {
+            mem.data_mut().store_u32(BASE + 4 * i, (i % 100) as u32 + 1);
+        }
+        TenantJob::new(p, st, mem)
+    }
+
+    fn expected_sum(n: u64) -> u64 {
+        (0..n).map(|i| u64::from((i % 100) as u32 + 1)).sum::<u64>() & 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn two_tenants_share_the_grid_on_disjoint_aligned_bands() {
+        let system = SystemConfig::m128();
+        let mut jobs = vec![sum_job(2000), sum_job(3000)];
+        let reports = run_tenants(&system, &mut jobs, 200, 0);
+        assert_eq!(reports.len(), 2);
+        let a = reports[0].as_ref().unwrap();
+        let b = reports[1].as_ref().unwrap();
+        let (ra, rb) = (a.fabric_region.unwrap(), b.fabric_region.unwrap());
+        assert!(ra.is_aligned() && rb.is_aligned());
+        assert!(!ra.overlaps(&rb), "bands must be disjoint: {ra} vs {rb}");
+        assert_eq!(a.tenant, 0);
+        assert_eq!(b.tenant, 1);
+        assert!(a.accel_iterations > 0 && b.accel_iterations > 0);
+        // Both tenants' architectural results are correct.
+        assert_eq!(jobs[0].state.read(T1) as u32 as u64, expected_sum(2000));
+        assert_eq!(jobs[1].state.read(T1) as u32 as u64, expected_sum(3000));
+        assert_eq!(jobs[0].state.pc, a.region.1);
+    }
+
+    #[test]
+    fn migration_mid_episode_is_architecturally_invisible() {
+        let system = SystemConfig::m128();
+        let mut solo = vec![sum_job(2500)];
+        let solo_reports = run_tenants(&system, &mut solo, 150, 0);
+        let solo_report = solo_reports[0].as_ref().unwrap();
+
+        let mut moved = vec![sum_job(2500)];
+        let moved_reports = run_tenants(&system, &mut moved, 150, 2);
+        let moved_report = moved_reports[0].as_ref().unwrap();
+
+        assert!(moved_report.migrations > 0, "migrate_every=2 must actually migrate");
+        assert_eq!(solo_report.accel_iterations, moved_report.accel_iterations);
+        assert_eq!(solo_report.accel_cycles, moved_report.accel_cycles);
+        assert_eq!(solo[0].state.read(T1), moved[0].state.read(T1));
+        assert_eq!(solo[0].state.read(A0), moved[0].state.read(A0));
+        assert_eq!(solo[0].state.pc, moved[0].state.pc);
+        assert_eq!(solo[0].state.read(T1) as u32 as u64, expected_sum(2500));
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_corruption_is_declined() {
+        let system = SystemConfig::m128();
+        let mut job = sum_job(4000);
+        let mut ctl = MesaController::new(system.clone());
+        let mut cpu = OoOCore::new(system.core);
+        let ep = ctl
+            .prepare_episode(
+                &job.program,
+                &mut job.state,
+                &mut job.mem,
+                &mut cpu,
+                &mut NullTracer,
+            )
+            .unwrap();
+        let mut manager = FabricManager::new(system.accel);
+        let (id, admission) = manager
+            .admit(ep.accel_prog.clone(), job.state.clone(), FaultPlan::none(), u64::MAX)
+            .unwrap();
+        assert!(matches!(admission, Admission::Admitted(_)));
+
+        // Not paused yet: nothing to checkpoint.
+        assert_eq!(manager.checkpoint(id), Err(FabricError::NotPaused(id)));
+
+        let p = manager
+            .advance(id, &mut job.mem, 1, 100, &mut NullTracer, 0)
+            .unwrap();
+        assert!(matches!(p, TenantProgress::Paused(_)), "quantum must freeze: {p:?}");
+
+        let words = manager.checkpoint(id).unwrap();
+        // Roundtrip restores cleanly.
+        manager.restore(id, &words).unwrap();
+        // Truncation and corruption decline with typed errors.
+        assert!(matches!(
+            manager.restore(id, &words[..words.len() - 3]),
+            Err(FabricError::Snapshot(_))
+        ));
+        let mut bad = words.clone();
+        bad[2] ^= 1;
+        assert!(matches!(manager.restore(id, &bad), Err(FabricError::Snapshot(_))));
+
+        // Migrating the frozen tenant to a busy/misaligned target fails.
+        let region = manager.region(id).unwrap();
+        assert!(matches!(
+            manager.migrate(id, region.first_row + 1, &mut NullTracer),
+            Err(FabricError::RegionMisaligned(_))
+        ));
+        // And to a proper free band succeeds, then completes correctly.
+        let target = manager.migration_target(id).unwrap();
+        let new = manager.migrate(id, target, &mut NullTracer).unwrap();
+        assert_ne!(new.first_row, region.first_row);
+        let p = manager
+            .advance(id, &mut job.mem, 1, u64::MAX, &mut NullTracer, 0)
+            .unwrap();
+        assert!(matches!(p, TenantProgress::Completed(_)));
+        assert_eq!(manager.migrations(id), 1);
+    }
+}

@@ -56,6 +56,7 @@
 pub mod configure;
 pub mod controller;
 pub mod detect;
+pub mod fabric;
 pub mod dfg;
 pub mod imap;
 pub mod mapper;
@@ -69,6 +70,10 @@ pub use controller::{
     SystemConfig,
 };
 pub use detect::{check_region, estimate_trip_count, DetectConfig, DetectedRegion, RejectReason};
+pub use fabric::{
+    run_tenants, run_tenants_traced, Admission, FabricError, FabricManager, TenantId,
+    TenantJob, TenantProgress,
+};
 pub use dfg::{BuildError, Ldfg, LdfgNode};
 pub use imap::{config_latency, reconfig_latency, trace_map_stages, ConfigLatency, ImapTiming};
 pub use mapper::{map_instructions, MapperConfig, Sdfg, WindowMode};

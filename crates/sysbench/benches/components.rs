@@ -10,9 +10,10 @@
 //! (set `MESA_BENCH_OUT=<path>` to write elsewhere — `scripts/bench_diff.sh`
 //! uses this to compare a fresh run against the committed baseline).
 
-use mesa_accel::{AccelConfig, Coord, SpatialAccelerator};
+use mesa_accel::{AccelConfig, Coord, FaultPlan, SpatialAccelerator};
 use mesa_core::{
-    analyze_memopts, build_accel_program, map_instructions, Ldfg, MapperConfig, OptFlags,
+    analyze_memopts, build_accel_program, map_instructions, FabricManager, Ldfg, MapperConfig,
+    OptFlags, TenantProgress,
 };
 use mesa_cpu::{CoreConfig, NullMonitor, OoOCore, RunLimits};
 use mesa_isa::{codec, OpClass};
@@ -123,6 +124,48 @@ fn bench_engine_null_tracer(suite: &mut BenchSuite) {
     });
 }
 
+/// The same engine workload as a single tenant of a [`FabricManager`]:
+/// admission, band placement, session bookkeeping, and completion tracking
+/// on top of the raw engine run. `scripts/ci.sh` and `scripts/bench_diff.sh`
+/// gate this against `engine/nn_512_iterations_on_m128`, so virtualizing
+/// the fabric stays within 10% of the pre-fabric baseline for the solo
+/// case everyone else pays for.
+fn bench_fabric(suite: &mut BenchSuite) {
+    let (kernel, _sa, prog) = nn_engine_setup();
+    let cfg = AccelConfig::m128();
+    suite.run("fabric/nn_single_tenant_session_on_m128", 20, || {
+        let mut mem = MemorySystem::new(MemConfig::default(), 1);
+        kernel.populate(mem.data_mut());
+        let mut manager = FabricManager::new(cfg);
+        let (id, _) = manager
+            .admit(prog.clone(), kernel.entry.clone(), FaultPlan::none(), 1_000_000)
+            .expect("admits");
+        black_box(
+            manager
+                .advance(id, &mut mem, 0, u64::MAX, &mut NullTracer, 0)
+                .expect("runs"),
+        )
+    });
+
+    // Checkpoint + restore round trip of a tenant frozen mid-episode: the
+    // snapshot wire format (serialize, checksum, decode) plus the
+    // compatibility re-validation against the tenant's binding.
+    let mut mem = MemorySystem::new(MemConfig::default(), 1);
+    kernel.populate(mem.data_mut());
+    let mut manager = FabricManager::new(cfg);
+    let (id, _) = manager
+        .admit(prog, kernel.entry.clone(), FaultPlan::none(), 1_000_000)
+        .expect("admits");
+    let progress = manager
+        .advance(id, &mut mem, 0, 64, &mut NullTracer, 0)
+        .expect("first slice");
+    assert!(matches!(progress, TenantProgress::Paused(_)), "must freeze: {progress:?}");
+    suite.run("fabric/nn_checkpoint_restore_roundtrip", 2_000, || {
+        let words = manager.checkpoint(id).expect("frozen");
+        manager.restore(id, black_box(&words)).expect("restores");
+    });
+}
+
 fn bench_ooo_core(suite: &mut BenchSuite) {
     let kernel = by_name("pathfinder", KernelSize::Tiny).expect("pathfinder");
     suite.run("ooo_core/pathfinder_tiny_to_halt", 20, || {
@@ -148,6 +191,7 @@ fn main() {
     bench_mapper(&mut suite);
     bench_engine(&mut suite);
     bench_engine_null_tracer(&mut suite);
+    bench_fabric(&mut suite);
     bench_ooo_core(&mut suite);
     let out = std::env::var("MESA_BENCH_OUT").ok().filter(|p| !p.is_empty());
     let out = out.as_deref().unwrap_or(OUT_PATH);

@@ -9,16 +9,25 @@
 //! On divergence the episode seed is printed with an exact replay command
 //! and the process exits non-zero.
 //!
+//! With `--tenants K` each episode additionally runs K workloads kernels
+//! as concurrent tenants of one shared fabric (checkpoint+migrating every
+//! `--migrate-every` slices) and requires sharing to be architecturally
+//! invisible against per-tenant solo runs. Replaying a seed with the same
+//! flags reproduces the exact multi-tenant schedule, migrations included.
+//!
 //! Usage:
-//!   soak --iters N [--seed S]     run N episodes from base seed S (default 1)
-//!   soak --replay 0xSEED          re-run exactly one episode by its seed
+//!   soak --iters N [--seed S] [--tenants K] [--migrate-every M]
+//!   soak --replay 0xSEED [--tenants K] [--migrate-every M]
 
-use mesa_bench::kernelgen::{controller_episode, differential_episode};
+use mesa_bench::kernelgen::{controller_episode, differential_episode, tenants_episode};
 use mesa_test::splitmix64;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: soak --iters N [--seed S] | soak --replay 0xSEED");
+    eprintln!(
+        "usage: soak --iters N [--seed S] [--tenants K] [--migrate-every M] \
+         | soak --replay 0xSEED [--tenants K] [--migrate-every M]"
+    );
     ExitCode::from(2)
 }
 
@@ -27,8 +36,8 @@ fn parse_u64(s: &str) -> Option<u64> {
         .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
 }
 
-/// Runs both checks for one episode seed; returns `false` on divergence.
-fn episode(seed: u64) -> bool {
+/// Runs the checks for one episode seed; returns `false` on divergence.
+fn episode(seed: u64, tenants: usize, migrate_every: u64) -> bool {
     let mut ok = true;
     match differential_episode(seed) {
         Ok(stats) if stats.skipped => {
@@ -55,6 +64,22 @@ fn episode(seed: u64) -> bool {
             ok = false;
         }
     }
+    if tenants > 0 {
+        match tenants_episode(seed, tenants, migrate_every) {
+            Ok(stats) => println!(
+                "seed {seed:#018x}: tenants ok — {} tenant(s), {} migration(s), {} decline(s)",
+                stats.tenants, stats.migrations, stats.declined
+            ),
+            Err(msg) => {
+                eprintln!("seed {seed:#018x}: MULTI-TENANT DIVERGENCE\n{msg}");
+                eprintln!(
+                    "replay with: soak --replay {seed:#x} --tenants {tenants} \
+                     --migrate-every {migrate_every}"
+                );
+                ok = false;
+            }
+        }
+    }
     ok
 }
 
@@ -63,6 +88,8 @@ fn main() -> ExitCode {
     let mut iters = 1u64;
     let mut base_seed = 1u64;
     let mut replay: Option<u64> = None;
+    let mut tenants = 0usize;
+    let mut migrate_every = 0u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -81,20 +108,31 @@ fn main() -> ExitCode {
                 let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
                 replay = Some(v);
             }
+            "--tenants" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                tenants = v as usize;
+            }
+            "--migrate-every" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                migrate_every = v;
+            }
             _ => return usage(),
         }
         i += 1;
     }
 
     if let Some(seed) = replay {
-        return if episode(seed) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        let ok = episode(seed, tenants, migrate_every);
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     let mut state = base_seed;
     let mut failures = 0u64;
     for _ in 0..iters {
         let seed = splitmix64(&mut state);
-        if !episode(seed) {
+        if !episode(seed, tenants, migrate_every) {
             failures += 1;
         }
     }

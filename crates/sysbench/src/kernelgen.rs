@@ -16,8 +16,8 @@
 
 use mesa_accel::{AccelConfig, AccelProgram, Coord, FaultPlan, SpatialAccelerator};
 use mesa_core::{
-    analyze_memopts, build_accel_program, map_instructions, Ldfg, MapperConfig, OptFlags,
-    SystemConfig,
+    analyze_memopts, build_accel_program, map_instructions, run_tenants, Ldfg, MapperConfig,
+    OptFlags, SystemConfig, TenantJob,
 };
 use mesa_isa::reg::abi::*;
 use mesa_isa::{step, ArchState, Asm, OpClass, Outcome, ParallelKind, Program, Reg, Xlen};
@@ -286,6 +286,132 @@ pub fn controller_episode(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// What one multi-tenant fabric episode exercised.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantsStats {
+    /// Jobs admitted to the shared fabric (including declined ones).
+    pub tenants: usize,
+    /// Mid-episode checkpoint+migrations across the concurrent run.
+    pub migrations: u32,
+    /// Jobs the controller declined (identically solo and shared).
+    pub declined: usize,
+}
+
+/// FNV-1a digest of every data window the workloads kernels write, so two
+/// runs of the same kernel can be compared without knowing its footprint
+/// (untouched addresses read as zero).
+fn data_digest(mem: &mut MemorySystem) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for base in [
+        mesa_workloads::DATA_A,
+        mesa_workloads::DATA_B,
+        mesa_workloads::DATA_C,
+        mesa_workloads::DATA_OUT,
+        0x140_0000, // backprop's private delta block
+    ] {
+        for off in (0..0x8000u64).step_by(4) {
+            h ^= u64::from(mem.data_mut().load_u32(base + off));
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// One multi-tenant fabric episode, fully derived from `seed`: `tenants`
+/// workloads kernels share one M-128 fabric, time-sliced with a
+/// seed-derived quantum and periodically checkpoint+migrated between
+/// bands. Sharing must be architecturally invisible — each tenant's
+/// decline-or-report outcome, iteration count, final architectural state,
+/// and output memory must match its sequential solo run. (Cycle counts and
+/// bands are *not* pinned: concurrent admission may shrink a tiling, which
+/// legitimately changes timing but never results.)
+///
+/// # Errors
+/// Returns a human-readable description of the first tenant whose shared
+/// run diverged from its solo run.
+pub fn tenants_episode(
+    seed: u64,
+    tenants: usize,
+    migrate_every: u64,
+) -> Result<TenantsStats, String> {
+    let mut s = seed ^ 0x7E4A_17F0;
+    let kernels = mesa_workloads::all(KernelSize::Tiny);
+    let picks: Vec<usize> =
+        (0..tenants).map(|_| (splitmix64(&mut s) as usize) % kernels.len()).collect();
+    let quantum = 100 + splitmix64(&mut s) % 400;
+    let system = SystemConfig::m128();
+    let job_for = |slot: usize| {
+        let kernel = &kernels[picks[slot]];
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        kernel.populate(mem.data_mut());
+        TenantJob::new(kernel.program.clone(), kernel.entry.clone(), mem)
+    };
+
+    // Sequential solo baselines: each job is its fabric's only tenant,
+    // with the same quantum and migration cadence.
+    let mut solo = Vec::with_capacity(tenants);
+    for slot in 0..tenants {
+        let mut jobs = vec![job_for(slot)];
+        let mut reports = run_tenants(&system, &mut jobs, quantum, migrate_every);
+        let outcome = reports.pop().expect("one report per job");
+        let digest = data_digest(&mut jobs[0].mem);
+        solo.push((outcome, format!("{:?}", jobs[0].state), digest));
+    }
+
+    // The concurrent run: all jobs admitted to one shared fabric.
+    let mut jobs: Vec<TenantJob> = (0..tenants).map(&job_for).collect();
+    let reports = run_tenants(&system, &mut jobs, quantum, migrate_every);
+
+    let mut stats = TenantsStats { tenants, ..TenantsStats::default() };
+    for (slot, (shared, (solo_outcome, solo_state, solo_digest))) in
+        reports.iter().zip(&solo).enumerate()
+    {
+        let name = kernels[picks[slot]].name;
+        match (shared, solo_outcome) {
+            (Ok(r), Ok(sr)) => {
+                if r.accel_iterations != sr.accel_iterations {
+                    return Err(format!(
+                        "tenant {slot} ({name}): {} iterations shared vs {} solo",
+                        r.accel_iterations, sr.accel_iterations
+                    ));
+                }
+                let state = format!("{:?}", jobs[slot].state);
+                if state != *solo_state {
+                    return Err(format!(
+                        "tenant {slot} ({name}): final state diverged\nshared: {state}\nsolo:   {solo_state}"
+                    ));
+                }
+                let digest = data_digest(&mut jobs[slot].mem);
+                if digest != *solo_digest {
+                    return Err(format!(
+                        "tenant {slot} ({name}): output memory diverged ({digest:#018x} vs {solo_digest:#018x})"
+                    ));
+                }
+                stats.migrations += r.migrations;
+            }
+            (Err(e), Err(se)) => {
+                if e.to_string() != se.to_string() {
+                    return Err(format!(
+                        "tenant {slot} ({name}): decline diverged — shared \"{e}\" vs solo \"{se}\""
+                    ));
+                }
+                stats.declined += 1;
+            }
+            (Ok(_), Err(se)) => {
+                return Err(format!(
+                    "tenant {slot} ({name}): shared run offloaded but solo declined with \"{se}\""
+                ));
+            }
+            (Err(e), Ok(_)) => {
+                return Err(format!(
+                    "tenant {slot} ({name}): solo run offloaded but shared declined with \"{e}\""
+                ));
+            }
+        }
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +431,17 @@ mod tests {
     fn controller_episode_survives_fault_taxonomy() {
         for seed in 0..3 {
             controller_episode(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tenants_episode_is_invisible_and_deterministic() {
+        for seed in 0..2 {
+            let a = tenants_episode(seed, 2, 3).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let b = tenants_episode(seed, 2, 3).unwrap();
+            assert_eq!(a.migrations, b.migrations, "seed {seed}");
+            assert_eq!(a.declined, b.declined, "seed {seed}");
+            assert_eq!(a.tenants, 2);
         }
     }
 }

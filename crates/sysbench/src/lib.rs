@@ -23,5 +23,7 @@ pub use harness::{
     mesa_offload_faulted_traced, mesa_offload_traced, mesa_profile, mesa_profile_traced,
     region_ldfg, BaselineRun, MesaRun,
 };
-pub use kernelgen::{controller_episode, differential_episode, EpisodeStats};
+pub use kernelgen::{
+    controller_episode, differential_episode, tenants_episode, EpisodeStats, TenantsStats,
+};
 pub use pool::{jobs, par_map, set_jobs};

@@ -33,3 +33,12 @@ trap 'rm -f "$fresh"' EXIT
 MESA_BENCH_OUT="$fresh" cargo bench --offline -p mesa-bench --bench components
 cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchdiff \
   "$fresh" "$BASELINE" "$MAX_RATIO"
+
+# Cross-entry gate from the same fresh run (common-mode noise cancels):
+# the single-tenant FabricManager session must stay within 10% of the raw
+# engine run — the virtualization layer is free for solo offloads.
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
+  "$fresh" \
+  fabric/nn_single_tenant_session_on_m128 \
+  engine/nn_512_iterations_on_m128 \
+  1.10

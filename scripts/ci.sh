@@ -54,6 +54,13 @@ cargo run --release --offline -q -p mesa-bench --bin tracecheck -- profile "$pro
 # prints its episode seed for exact replay via `soak --replay 0xSEED`.
 cargo run --release --offline -q -p mesa-bench --bin soak -- --iters 16 --seed 1
 
+# Multi-tenant fabric smoke: the same seed-replayable soak loop with two
+# concurrent tenants sharing the fabric, checkpoint+migrating every third
+# slice. Sharing must be architecturally invisible against per-tenant solo
+# runs; a divergence prints the seed and the exact replay flags.
+cargo run --release --offline -q -p mesa-bench --bin soak -- \
+  --iters 16 --seed 3 --tenants 2 --migrate-every 3
+
 # Parallel-harness determinism smoke: the full figure suite must be
 # byte-identical no matter how many worker threads run the per-kernel
 # simulations.
@@ -82,7 +89,16 @@ cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
   engine/nn_512_iterations_on_m128 \
   1.15
 
-# (2) No component's median may regress past MAX_RATIO of the committed
+# (2) Virtualizing the fabric must stay cheap for the solo case: a
+#     single-tenant session through the FabricManager (admission, band
+#     placement, session bookkeeping) within 10% of the raw engine run.
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
+  "$bench_tmp" \
+  fabric/nn_single_tenant_session_on_m128 \
+  engine/nn_512_iterations_on_m128 \
+  1.10
+
+# (3) No component's median may regress past MAX_RATIO of the committed
 #     baseline (bench_diff.sh's 1.15 default is for quiet machines).
 for attempt in 1 2 3; do
   if cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchdiff \

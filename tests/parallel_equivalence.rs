@@ -7,6 +7,10 @@
 //! process-global (`mesa_bench::set_jobs`), so splitting this into several
 //! `#[test]`s would race on it.
 
+use mesa::core::{run_tenants, OffloadReport, SystemConfig, TenantJob};
+use mesa::isa::reg::abi::*;
+use mesa::isa::{ArchState, Asm, Xlen};
+use mesa::mem::{MemConfig, MemorySystem};
 use mesa_bench as bench;
 use mesa_workloads::KernelSize;
 
@@ -41,4 +45,124 @@ fn figures_identical_for_any_worker_count() {
 
     // Leave the global override cleared for any other harness user.
     bench::set_jobs(0);
+}
+
+/// One synthetic loop job for the shared fabric. Three shapes with
+/// different trip counts and bodies, all serial (single tile), so every
+/// tenant gets its full placement even when all run concurrently.
+fn tenant_job(kind: usize, n: u64) -> TenantJob {
+    const BASE: u64 = 0x10_0000;
+    const OUT: u64 = 0x20_0000;
+    let mut a = Asm::new(0x1000);
+    a.label("loop");
+    a.lw(T0, A0, 0);
+    match kind % 3 {
+        0 => {
+            a.add(T1, T1, T0);
+        }
+        1 => {
+            a.xor(T1, T1, T0);
+            a.slli(T2, T0, 1);
+            a.add(T1, T1, T2);
+        }
+        _ => {
+            a.sub(T1, T0, T1);
+            a.and(T2, T1, T0);
+            a.sw(T2, A4, 0);
+            a.addi(A4, A4, 4);
+        }
+    }
+    a.addi(A0, A0, 4);
+    a.bne(A0, A1, "loop");
+    a.sw(T1, A2, 0);
+    a.li(A7, 93);
+    a.ecall();
+    let program = a.finish().expect("tenant loop assembles");
+
+    let mut state = ArchState::new(0x1000, Xlen::Rv32);
+    state.write(A0, BASE);
+    state.write(A1, BASE + 4 * n);
+    state.write(A2, OUT);
+    state.write(A4, OUT + 0x100);
+    let mut mem = MemorySystem::new(MemConfig::default(), 2);
+    for i in 0..n {
+        mem.data_mut()
+            .store_u32(BASE + 4 * i, ((i * 7 + kind as u64 * 13) % 1000) as u32 + 1);
+    }
+    TenantJob::new(program, state, mem)
+}
+
+/// A tenant report with the sharing-specific fields masked off, so solo
+/// and concurrent runs can be compared field-for-field: the tenant id and
+/// band assignment depend on admission order by construction, everything
+/// else (timing included — aligned bands are translation invariant) must
+/// not.
+fn normalized(report: &OffloadReport) -> String {
+    let mut r = report.clone();
+    r.tenant = 0;
+    r.fabric_region = None;
+    format!("{r:?}")
+}
+
+/// Concurrent multi-tenancy is invisible: N tenants sharing the fabric
+/// produce byte-identical per-tenant reports, architectural states, and
+/// memory results to N sequential solo runs, under every admission order.
+///
+/// This test does not touch the process-global `mesa_bench::set_jobs`
+/// worker count (`run_tenants` time-slices one engine on one thread), so
+/// it can live alongside `figures_identical_for_any_worker_count` as its
+/// own `#[test]` without racing it.
+#[test]
+fn concurrent_tenants_match_sequential_solo_runs_in_any_order() {
+    const QUANTUM: u64 = 180;
+    let system = SystemConfig::m128();
+    let shapes: [(usize, u64); 3] = [(0, 2000), (1, 1500), (2, 2600)];
+
+    // Sequential solo baseline: each job runs as the fabric's only tenant.
+    let mut solo_reports = Vec::new();
+    let mut solo_states = Vec::new();
+    for &(kind, n) in &shapes {
+        let mut jobs = vec![tenant_job(kind, n)];
+        let mut reports = run_tenants(&system, &mut jobs, QUANTUM, 0);
+        let report = reports.pop().unwrap().expect("solo tenant offloads");
+        solo_reports.push(normalized(&report));
+        solo_states.push(format!("{:?}", jobs[0].state));
+    }
+
+    // Concurrent runs under several admission orders.
+    for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+        let mut jobs: Vec<TenantJob> =
+            order.iter().map(|&i| tenant_job(shapes[i].0, shapes[i].1)).collect();
+        let reports = run_tenants(&system, &mut jobs, QUANTUM, 0);
+
+        // All three really shared the grid: pairwise disjoint bands.
+        let regions: Vec<_> = reports
+            .iter()
+            .map(|r| r.as_ref().expect("tenant offloads").fabric_region.expect("ran on a band"))
+            .collect();
+        for i in 0..regions.len() {
+            for j in i + 1..regions.len() {
+                assert!(
+                    !regions[i].overlaps(&regions[j]),
+                    "admission order {order:?}: bands {} and {} overlap",
+                    regions[i],
+                    regions[j]
+                );
+            }
+        }
+
+        for (slot, &i) in order.iter().enumerate() {
+            let report = reports[slot].as_ref().unwrap();
+            assert_eq!(
+                normalized(report),
+                solo_reports[i],
+                "admission order {order:?}: tenant report for job {i} diverged from its solo run"
+            );
+            assert_eq!(
+                format!("{:?}", jobs[slot].state),
+                solo_states[i],
+                "admission order {order:?}: architectural state for job {i} diverged"
+            );
+        }
+    }
 }

@@ -1,0 +1,287 @@
+//! Placement-snapshot round trips through the public fabric API.
+//!
+//! For every Rodinia-style kernel that maps onto the M-128 grid, three runs
+//! of the same admitted tenant must agree bit-for-bit:
+//!
+//! 1. **Uninterrupted** — one `advance` to completion.
+//! 2. **Resume-in-place** — sliced into quantum-sized sessions, frozen and
+//!    resumed on the same band until done.
+//! 3. **Serialize→deserialize→resume** — frozen once, checkpointed to the
+//!    word stream, restored from that stream, then run to completion.
+//!
+//! Agreement covers the full [`AccelRunResult`] (iterations, cycles, final
+//! registers, per-PE counters, activity, fault log) plus a digest of every
+//! data region the kernels touch. Corrupted, truncated, and mismatched
+//! snapshot streams must decline with typed errors — never a panic — and
+//! leave the tenant able to finish correctly afterwards.
+
+use mesa::accel::{AccelConfig, AccelProgram, Coord, FaultPlan, SpatialAccelerator};
+use mesa::core::{
+    analyze_memopts, build_accel_program, map_instructions, FabricError, FabricManager, Ldfg,
+    MapperConfig, MesaError, OptFlags, TenantProgress,
+};
+use mesa::isa::{step, ArchState, OpClass, Outcome, Program};
+use mesa::mem::{MemConfig, MemorySystem};
+use mesa::trace::NullTracer;
+use mesa::workloads::{all, Kernel, KernelSize, DATA_A, DATA_B, DATA_C, DATA_OUT};
+
+/// Memory port the accelerator uses on a two-port memory system.
+const ACCEL_PORT: usize = 1;
+/// Iteration budget far above any Tiny kernel's trip count.
+const BUDGET: u64 = 1_000_000;
+
+/// One tenant's worth of inputs, rebuilt identically for each run.
+struct Case {
+    prog: AccelProgram,
+    entry: ArchState,
+    mem: MemorySystem,
+}
+
+/// Builds the kernel's hot loop into an accelerator configuration via the
+/// public translate→map→configure pipeline, and advances the kernel's
+/// architectural state functionally through its prologue to loop entry.
+/// `None` when the loop is untranslatable or fails validation (the kernel
+/// is skipped, exactly as the controller would decline it).
+fn build_case(kernel: &Kernel, cfg: &AccelConfig) -> Option<Case> {
+    let (start, end) = kernel.loop_region();
+    let base_idx = ((start - kernel.program.base_pc) / 4) as usize;
+    let len = ((end - start) / 4) as usize;
+    let region = Program {
+        base_pc: start,
+        instrs: kernel.program.instrs[base_idx..base_idx + len].to_vec(),
+        annotations: kernel.program.annotations.clone(),
+    };
+    let ldfg = Ldfg::build(&region).ok()?;
+    let accel = SpatialAccelerator::new(*cfg);
+    let supports = |c: Coord, class: OpClass| cfg.supports(c, class);
+    let sdfg = map_instructions(
+        &ldfg,
+        cfg.grid(),
+        &supports,
+        accel.latency_model(),
+        &MapperConfig::default(),
+    );
+    let plan = analyze_memopts(&ldfg);
+    let opts = OptFlags { pipelining: true, memory_opts: true, ..OptFlags::none() };
+    let prog =
+        build_accel_program(&ldfg, &sdfg, Some(&plan), kernel.annotation, cfg, &opts, kernel.iterations);
+    prog.validate(cfg.grid()).ok()?;
+
+    let mut mem = MemorySystem::new(MemConfig::default(), 2);
+    kernel.populate(mem.data_mut());
+    let mut entry = kernel.entry.clone();
+    for _ in 0..100_000 {
+        if entry.pc == start {
+            break;
+        }
+        let instr = kernel.program.fetch(entry.pc)?;
+        let info = step(&mut entry, instr, mem.data_mut());
+        if matches!(info.outcome, Outcome::Halt) {
+            return None;
+        }
+    }
+    (entry.pc == start).then_some(Case { prog, entry, mem })
+}
+
+/// FNV-1a digest over every data window the kernels write (including
+/// backprop's private block above [`DATA_OUT`]'s window). Untouched
+/// addresses read as zero, so identical engine behavior gives identical
+/// digests regardless of footprint.
+fn mem_digest(mem: &mut MemorySystem) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for base in [DATA_A, DATA_B, DATA_C, DATA_OUT, 0x140_0000] {
+        for off in (0..0x8000u64).step_by(4) {
+            h ^= u64::from(mem.data_mut().load_u32(base + off));
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Admits a fresh copy of `case` as the sole tenant of a fresh manager.
+fn admit(case: &Case, cfg: AccelConfig) -> (FabricManager, u32) {
+    let mut manager = FabricManager::new(cfg);
+    let (id, _) = manager
+        .admit(case.prog.clone(), case.entry.clone(), FaultPlan::none(), BUDGET)
+        .expect("single tenant on an empty grid must be admitted");
+    assert!(!manager.is_queued(id), "sole tenant must get a band immediately");
+    (manager, id)
+}
+
+/// `(Debug render of the result, memory digest)` once tenant `id` is done.
+fn finish(manager: &FabricManager, id: u32, mem: &mut MemorySystem) -> (String, u64) {
+    let r = manager.result(id).expect("completed tenant has a result");
+    assert!(r.completed, "kernel loop must exit within the budget");
+    assert!(r.iterations > 0);
+    (format!("{r:?}"), mem_digest(mem))
+}
+
+/// What one kernel's round trip exercised.
+#[derive(Debug, PartialEq, Eq)]
+enum KernelOutcome {
+    /// Loop untranslatable or unmappable — declined up front, as solo
+    /// offload would decline it.
+    Skipped,
+    /// Completed inside one quantum, so there was no snapshot to test;
+    /// uninterrupted and sliced runs still agreed.
+    TooShortToFreeze,
+    /// Full pause → checkpoint → corrupt → restore → resume cycle ran.
+    Exercised,
+}
+
+fn roundtrip(kernel: &Kernel) -> KernelOutcome {
+    let cfg = AccelConfig::m128();
+    let Some(mut a) = build_case(kernel, &cfg) else { return KernelOutcome::Skipped };
+
+    // Run 1: uninterrupted.
+    let (mut ma, ida) = admit(&a, cfg);
+    let pa = ma
+        .advance(ida, &mut a.mem, ACCEL_PORT, u64::MAX, &mut NullTracer, 0)
+        .unwrap_or_else(|e| panic!("{}: uninterrupted run failed: {e}", kernel.name));
+    let TenantProgress::Completed(total) = pa else {
+        panic!("{}: u64::MAX quantum must run to completion, got {pa:?}", kernel.name);
+    };
+    let (want, want_digest) = finish(&ma, ida, &mut a.mem);
+
+    // A quantum that slices the episode into several sessions. `advance`
+    // clamps zero to one cycle, and a slice that overshoots the end just
+    // completes — both are fine; we only *require* a freeze in run 3.
+    let quantum = (total / 3).max(1);
+
+    // Run 2: resume-in-place across quantum slices.
+    let mut b = build_case(kernel, &cfg).expect("case construction is deterministic");
+    let (mut mb, idb) = admit(&b, cfg);
+    let mut slices = 0u32;
+    let froze = loop {
+        match mb
+            .advance(idb, &mut b.mem, ACCEL_PORT, quantum, &mut NullTracer, 0)
+            .unwrap_or_else(|e| panic!("{}: slice {slices} failed: {e}", kernel.name))
+        {
+            TenantProgress::Paused(_) => slices += 1,
+            TenantProgress::Completed(_) => break slices > 0,
+            TenantProgress::Queued => unreachable!("sole tenant cannot be queued"),
+        }
+    };
+    let (got, got_digest) = finish(&mb, idb, &mut b.mem);
+    assert_eq!(want, got, "{}: resume-in-place diverged from uninterrupted", kernel.name);
+    assert_eq!(want_digest, got_digest, "{}: memory diverged after slicing", kernel.name);
+
+    // Run 3: freeze once, serialize, reject corruptions, deserialize, resume.
+    let mut c = build_case(kernel, &cfg).expect("case construction is deterministic");
+    let (mut mc, idc) = admit(&c, cfg);
+    match mc
+        .advance(idc, &mut c.mem, ACCEL_PORT, quantum, &mut NullTracer, 0)
+        .unwrap_or_else(|e| panic!("{}: freezing slice failed: {e}", kernel.name))
+    {
+        TenantProgress::Paused(_) => {}
+        TenantProgress::Completed(_) => {
+            // One round overshot the pause point: nothing to snapshot, but
+            // the results must still agree with the uninterrupted run.
+            let (got, got_digest) = finish(&mc, idc, &mut c.mem);
+            assert_eq!(want, got, "{}: overshot run diverged", kernel.name);
+            assert_eq!(want_digest, got_digest, "{}: overshot memory diverged", kernel.name);
+            assert!(!froze, "{}: run 2 froze but run 3 could not", kernel.name);
+            return KernelOutcome::TooShortToFreeze;
+        }
+        TenantProgress::Queued => unreachable!("sole tenant cannot be queued"),
+    }
+    let words = mc.checkpoint(idc).unwrap_or_else(|e| panic!("{}: checkpoint: {e}", kernel.name));
+
+    // Truncations at several depths decline with a typed error.
+    for keep in [0, 1, words.len() / 2, words.len() - 1] {
+        let err = mc
+            .restore(idc, &words[..keep])
+            .expect_err("truncated snapshot must be rejected");
+        assert!(
+            matches!(err, FabricError::Snapshot(_)),
+            "{}: truncation to {keep} words gave {err:?}",
+            kernel.name
+        );
+        // And surfaces through the controller's error type unchanged.
+        let top = MesaError::from(err);
+        assert!(matches!(top, MesaError::Fabric(FabricError::Snapshot(_))), "{top:?}");
+    }
+    // Single-bit corruption anywhere in the stream is caught by the
+    // checksum (or a bounds check) before anything is installed.
+    for (word, bit) in [(0, 0), (2, 17), (words.len() / 2, 63), (words.len() - 1, 1)] {
+        let mut bad = words.clone();
+        bad[word] ^= 1u64 << bit;
+        let err = mc.restore(idc, &bad).expect_err("corrupt snapshot must be rejected");
+        assert!(
+            matches!(err, FabricError::Snapshot(_)),
+            "{}: flip of word {word} bit {bit} gave {err:?}",
+            kernel.name
+        );
+    }
+
+    // The failed restores left the frozen state intact: deserialize the
+    // good stream and run to completion.
+    mc.restore(idc, &words).unwrap_or_else(|e| panic!("{}: clean restore: {e}", kernel.name));
+    let pc = mc
+        .advance(idc, &mut c.mem, ACCEL_PORT, u64::MAX, &mut NullTracer, 0)
+        .unwrap_or_else(|e| panic!("{}: resume after restore failed: {e}", kernel.name));
+    assert!(matches!(pc, TenantProgress::Completed(_)), "{}: {pc:?}", kernel.name);
+    let (got, got_digest) = finish(&mc, idc, &mut c.mem);
+    assert_eq!(want, got, "{}: serialize→deserialize→resume diverged", kernel.name);
+    assert_eq!(want_digest, got_digest, "{}: memory diverged after restore", kernel.name);
+    KernelOutcome::Exercised
+}
+
+#[test]
+fn snapshot_roundtrip_matches_resume_in_place_for_every_kernel() {
+    let kernels = all(KernelSize::Tiny);
+    assert_eq!(kernels.len(), mesa::workloads::KERNEL_NAMES.len());
+    let mut exercised = Vec::new();
+    let mut skipped = Vec::new();
+    for kernel in &kernels {
+        match roundtrip(kernel) {
+            KernelOutcome::Exercised => exercised.push(kernel.name),
+            KernelOutcome::TooShortToFreeze => {}
+            KernelOutcome::Skipped => skipped.push(kernel.name),
+        }
+    }
+    // The suite must actually test freezing, not just skip everything.
+    assert!(
+        exercised.len() >= 8,
+        "only {exercised:?} kernels froze and round-tripped (skipped: {skipped:?})"
+    );
+}
+
+/// A snapshot is bound to its tenant: restoring one tenant's stream into a
+/// different tenant (different program / band) declines with a typed
+/// snapshot error, and the victim still completes correctly afterwards.
+#[test]
+fn snapshot_restore_rejects_foreign_tenants() {
+    let cfg = AccelConfig::m128();
+    let kernels = all(KernelSize::Tiny);
+    // Two kernels that both map and both freeze under a small quantum.
+    let mut frozen: Vec<(FabricManager, u32, Case, Vec<u64>, &str)> = Vec::new();
+    for kernel in &kernels {
+        let Some(mut case) = build_case(kernel, &cfg) else { continue };
+        let (mut manager, id) = admit(&case, cfg);
+        let Ok(TenantProgress::Paused(_)) =
+            manager.advance(id, &mut case.mem, ACCEL_PORT, 50, &mut NullTracer, 0)
+        else {
+            continue;
+        };
+        let words = manager.checkpoint(id).expect("paused tenant checkpoints");
+        frozen.push((manager, id, case, words, kernel.name));
+        if frozen.len() == 2 {
+            break;
+        }
+    }
+    let [(mut ma, ida, mut ca, wa, na), (_, _, _, wb, nb)] =
+        frozen.try_into().unwrap_or_else(|_| panic!("fewer than two kernels froze"));
+
+    let err = ma.restore(ida, &wb).expect_err("foreign snapshot must be rejected");
+    assert!(matches!(err, FabricError::Snapshot(_)), "{na} accepted {nb}'s snapshot: {err:?}");
+
+    // The rejected restore is side-effect free: the original stream still
+    // loads and the tenant completes.
+    ma.restore(ida, &wa).expect("own snapshot restores after a rejected foreign one");
+    let p = ma
+        .advance(ida, &mut ca.mem, ACCEL_PORT, u64::MAX, &mut NullTracer, 0)
+        .expect("resume after rejected foreign restore");
+    assert!(matches!(p, TenantProgress::Completed(_)), "{p:?}");
+    assert!(ma.result(ida).expect("result").completed);
+}
