@@ -241,6 +241,22 @@ impl PlacementSnapshot {
         }
     }
 
+    /// Exact length in words of the stream [`PlacementSnapshot::to_words`]
+    /// would produce, computed arithmetically — no allocation or
+    /// serialization. The fabric's telemetry uses this to account
+    /// checkpoint/restore cost in "wire words shuttled" without paying for
+    /// a second serialization on the migration hot path.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        let tile_words = Reg::COUNT + 2 * self.nodes + 4;
+        14 // header: magic..Reg::COUNT (see to_words)
+            + self.region_rows
+            + self.tiles * tile_words
+            + self.nodes * NodeCounter::SNAPSHOT_WORDS
+            + ActivityStats::SNAPSHOT_WORDS
+            + 1 // trailing checksum
+    }
+
     /// Serializes the snapshot to a little-endian word stream (magic,
     /// version, counts, payload, trailing FNV checksum).
     #[must_use]
@@ -482,6 +498,12 @@ mod tests {
         assert_eq!(back.cycles(), 5);
         assert_eq!(back.iterations(), 5);
         assert!(back.is_running());
+    }
+
+    #[test]
+    fn word_len_matches_serialized_length() {
+        let snap = sample();
+        assert_eq!(snap.word_len(), snap.to_words().len());
     }
 
     #[test]

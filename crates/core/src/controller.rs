@@ -232,6 +232,12 @@ pub struct OffloadReport {
     pub fabric_region: Option<Region>,
     /// Times the placement was checkpointed and relocated mid-episode.
     pub migrations: u32,
+    /// Fleet cycles the tenant waited in the admission queue before its
+    /// first band placement (`0` for solo offloads, which never queue).
+    pub queue_wait_cycles: u64,
+    /// Wire cost of the episode's migrations: checkpoint + restore words
+    /// shuttled (`0` for solo offloads and unmigrated tenants).
+    pub checkpoint_cycles: u64,
 }
 
 impl OffloadReport {
@@ -276,6 +282,8 @@ impl OffloadReport {
         reg.add("offload.from_cache", u64::from(self.from_cache));
         reg.add("offload.reopt_rounds", self.reopt_rounds.len() as u64);
         reg.add("offload.migrations", u64::from(self.migrations));
+        reg.add("offload.queue_wait_cycles", self.queue_wait_cycles);
+        reg.add("offload.checkpoint_cycles", self.checkpoint_cycles);
         reg.gauge("offload.cycles_per_iteration", self.cycles_per_iteration());
         self.cpu_phase_traffic.record_metrics(reg, "offload.cpu_phase");
         self.cpu_pipeline.record_metrics(reg, "offload.cpu_pipeline");
@@ -323,7 +331,15 @@ impl fmt::Display for OffloadReport {
             f,
             "  reconfigurations: {} (+{} cycles); unmapped nodes: {}",
             self.reconfigurations, self.reconfig_cycles, self.unmapped_nodes
-        )
+        )?;
+        if self.queue_wait_cycles > 0 || self.checkpoint_cycles > 0 {
+            write!(
+                f,
+                "\n  fabric: {} cycles queued, {} checkpoint/restore cycles over {} migration(s)",
+                self.queue_wait_cycles, self.checkpoint_cycles, self.migrations
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -1087,6 +1103,8 @@ impl MesaController {
             tenant: 0,
             fabric_region: None,
             migrations: 0,
+            queue_wait_cycles: 0,
+            checkpoint_cycles: 0,
         })
     }
 

@@ -62,18 +62,28 @@ fn main() {
     let outcome =
         run_offload_traced(&kernel.program, &mut sys_state, &mut sys_mem, &system, &mut tracer);
     match &outcome {
-        Ok(report) => println!(
-            "{}: offloaded — warmup {} + config {} (cpu overlapped {}) + accel {} cycles, \
-             {} iterations on the fabric ({:.2} cyc/iter), {} reconfiguration(s)",
-            kernel.name,
-            report.warmup_cycles,
-            report.config.total(),
-            report.config_phase_cpu_cycles,
-            report.accel_cycles,
-            report.accel_iterations,
-            report.cycles_per_iteration(),
-            report.reconfigurations,
-        ),
+        Ok(report) => {
+            println!(
+                "{}: offloaded — warmup {} + config {} (cpu overlapped {}) + accel {} cycles, \
+                 {} iterations on the fabric ({:.2} cyc/iter), {} reconfiguration(s)",
+                kernel.name,
+                report.warmup_cycles,
+                report.config.total(),
+                report.config_phase_cpu_cycles,
+                report.accel_cycles,
+                report.accel_iterations,
+                report.cycles_per_iteration(),
+                report.reconfigurations,
+            );
+            // Fleet telemetry (zero for a solo offload like this one, but
+            // populated when the report came off a shared fabric).
+            if report.queue_wait_cycles > 0 || report.checkpoint_cycles > 0 {
+                println!(
+                    "  fabric: {} cycles queued, {} checkpoint/restore cycles over {} migration(s)",
+                    report.queue_wait_cycles, report.checkpoint_cycles, report.migrations
+                );
+            }
+        }
         Err(MesaError::Rejected(reason)) => {
             println!("{}: offload REJECTED — {reason}", kernel.name);
             for ev in tracer.events() {

@@ -1,0 +1,214 @@
+//! `mesa-top` — live text dashboard for the virtualized fabric.
+//!
+//! Derives a deterministic multi-tenant workload mix from a seed (the
+//! same `tenant_jobs` derivation the soak loop uses), drives the shared
+//! fabric one scheduler round at a time through `FleetDriver`, and
+//! renders a frame between rounds: the aligned-band ownership map, a
+//! per-tenant table (state, band, cycles, iterations, slices,
+//! migrations, queue wait, checkpoint cost), rolling throughput, and the
+//! fleet latency histogram summaries.
+//!
+//! Output is deterministic plain text by default, so frames can be
+//! captured and diffed; `--ansi` redraws in place for a live view.
+//!
+//! Usage:
+//!   mesa-top [--tenants K] [--seed S] [--migrate-every M]
+//!            [--every R] [--frames N] [--ansi]
+
+use mesa_bench::kernelgen::tenant_jobs;
+use mesa_core::{FleetDriver, FleetStats, SystemConfig, TenantStats};
+use mesa_trace::NullTracer;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mesa-top [--tenants K] [--seed S] [--migrate-every M] \
+         [--every R] [--frames N] [--ansi]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    s.strip_prefix("0x")
+        .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+}
+
+/// Band ownership map: one cell per aligned band slot, labelled with the
+/// owning tenant id or `--` when idle.
+fn band_map(stats: &FleetStats) -> String {
+    let mut map = String::new();
+    let align = mesa_accel::REGION_ROW_ALIGN;
+    for slot in 0..stats.bands {
+        let owner = stats.tenants.iter().find(|t| {
+            t.state == "running"
+                && t.band.is_some_and(|(first_row, rows)| {
+                    slot >= first_row / align && slot < (first_row + rows).div_ceil(align)
+                })
+        });
+        match owner {
+            Some(t) => {
+                let _ = write!(map, "[T{}]", t.tenant);
+            }
+            None => map.push_str("[--]"),
+        }
+    }
+    map
+}
+
+fn tenant_row(t: &TenantStats, name: &str) -> String {
+    let band = match t.band {
+        Some((first_row, rows)) => format!("r{first_row:02}+{rows}"),
+        None => "-".to_string(),
+    };
+    format!(
+        "  T{:<3} {:<10} {:<8} {:<7} {:>9} {:>7} {:>6} {:>5} {:>6} {:>6}",
+        t.tenant,
+        name,
+        t.state,
+        band,
+        t.cycles,
+        t.iterations,
+        t.slices,
+        t.migrations,
+        t.queue_wait_cycles,
+        t.checkpoint_cycles
+    )
+}
+
+fn render_frame(
+    frame: u64,
+    round: u64,
+    stats: &FleetStats,
+    names: &[Option<&str>],
+    last_elapsed: u64,
+    remaining: usize,
+    ansi: bool,
+) {
+    if ansi {
+        // Clear screen + home; keeps the dashboard in place like top(1).
+        print!("\x1b[2J\x1b[H");
+    }
+    let live = stats.tenants.iter().filter(|t| t.state != "done").count();
+    println!(
+        "mesa-top — frame {frame}, round {round}: fleet clock {} cycles, \
+         {live} live / {} tenant(s), {remaining} unfinished",
+        stats.elapsed_cycles,
+        stats.tenants.len()
+    );
+    println!("bands: {}", band_map(stats));
+    println!(
+        "  {:<4} {:<10} {:<8} {:<7} {:>9} {:>7} {:>6} {:>5} {:>6} {:>6}",
+        "id", "workload", "state", "band", "cycles", "iters", "slices", "migr", "qwait", "ckpt"
+    );
+    for t in &stats.tenants {
+        println!("{}", tenant_row(t, names.get(t.tenant as usize).copied().flatten().unwrap_or("?")));
+    }
+    println!(
+        "throughput: {} cycles this frame ({} total); admissions \
+         full={} shrunk={} queued={} declined={}; migrations={}",
+        stats.elapsed_cycles - last_elapsed,
+        stats.elapsed_cycles,
+        stats.admitted_full,
+        stats.admitted_shrunk,
+        stats.queued,
+        stats.declined,
+        stats.migrations
+    );
+    println!("  queue_wait_cycles: {}", stats.queue_wait.render());
+    println!("  slice_cycles:      {}", stats.slice_cycles.render());
+    println!("  migration_cycles:  {}", stats.migration_cycles.render());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tenants = 4usize;
+    let mut seed = 1u64;
+    let mut migrate_every = 3u64;
+    let mut every = 1u64;
+    let mut frames = u64::MAX;
+    let mut ansi = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tenants" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                tenants = v as usize;
+            }
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                seed = v;
+            }
+            "--migrate-every" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                migrate_every = v;
+            }
+            "--every" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s).filter(|&v| v > 0)) else {
+                    return usage();
+                };
+                every = v;
+            }
+            "--frames" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
+                frames = v;
+            }
+            "--ansi" => ansi = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    if tenants == 0 {
+        return usage();
+    }
+
+    let system = SystemConfig::m128();
+    let (quantum, named) = tenant_jobs(seed, tenants);
+    let job_names: Vec<&str> = named.iter().map(|(n, _)| *n).collect();
+    let mut jobs: Vec<_> = named.into_iter().map(|(_, j)| j).collect();
+    let mut tracer = NullTracer;
+    let mut driver =
+        FleetDriver::new(&system, &mut jobs, quantum, migrate_every, &mut tracer);
+    // Tenant ids skip over prepare-stage declines; index names by tenant.
+    let names: Vec<Option<&str>> = (0..job_names.len())
+        .map(|id| driver.job_of_tenant(id as u32).map(|j| job_names[j]))
+        .collect();
+
+    let mut frame = 0u64;
+    let mut round = 0u64;
+    let mut last_elapsed = 0u64;
+    loop {
+        let stats = driver.fleet_stats();
+        render_frame(frame, round, &stats, &names, last_elapsed, driver.remaining(), ansi);
+        last_elapsed = stats.elapsed_cycles;
+        frame += 1;
+        if frame >= frames || driver.remaining() == 0 {
+            break;
+        }
+        for _ in 0..every {
+            round += 1;
+            if !driver.step(&mut tracer) {
+                break;
+            }
+        }
+    }
+
+    let run = driver.into_run();
+    let failures = run.outcomes.iter().filter(|o| o.is_err()).count();
+    println!(
+        "mesa-top: {} tenant(s) finished, {failures} declined, \
+         {} fleet cycles, {} migration(s)",
+        run.stats.tenants.len(),
+        run.stats.elapsed_cycles,
+        run.stats.migrations
+    );
+    if let Some(dump) = &run.post_mortem {
+        println!("post-mortem: {dump}");
+    }
+    ExitCode::SUCCESS
+}

@@ -15,17 +15,29 @@
 //! invisible against per-tenant solo runs. Replaying a seed with the same
 //! flags reproduces the exact multi-tenant schedule, migrations included.
 //!
+//! Fleet telemetry: `--fleetstats PATH` folds every tenant episode's
+//! `FleetStats` into one aggregate and writes the stable JSON export
+//! (`"schema":"mesa.fleetstats/v1"`, validated by `tracecheck
+//! fleetstats`). `--force-fault` arms a config-stream truncation on
+//! tenant 0 of each episode so the decline → flight-recorder path fires;
+//! `--postmortem PATH` writes the first post-mortem dump produced.
+//!
 //! Usage:
 //!   soak --iters N [--seed S] [--tenants K] [--migrate-every M]
+//!        [--fleetstats PATH] [--postmortem PATH] [--force-fault]
 //!   soak --replay 0xSEED [--tenants K] [--migrate-every M]
 
-use mesa_bench::kernelgen::{controller_episode, differential_episode, tenants_episode};
+use mesa_bench::kernelgen::{
+    controller_episode, differential_episode, tenants_episode_fleet,
+};
+use mesa_core::FleetStats;
 use mesa_test::splitmix64;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: soak --iters N [--seed S] [--tenants K] [--migrate-every M] \
+         [--fleetstats PATH] [--postmortem PATH] [--force-fault] \
          | soak --replay 0xSEED [--tenants K] [--migrate-every M]"
     );
     ExitCode::from(2)
@@ -36,8 +48,22 @@ fn parse_u64(s: &str) -> Option<u64> {
         .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
 }
 
+/// Telemetry accumulated across the soak loop's tenant episodes.
+#[derive(Default)]
+struct FleetAggregate {
+    stats: FleetStats,
+    /// First post-mortem any episode produced (decline or fault).
+    post_mortem: Option<String>,
+}
+
 /// Runs the checks for one episode seed; returns `false` on divergence.
-fn episode(seed: u64, tenants: usize, migrate_every: u64) -> bool {
+fn episode(
+    seed: u64,
+    tenants: usize,
+    migrate_every: u64,
+    force_fault: bool,
+    agg: &mut FleetAggregate,
+) -> bool {
     let mut ok = true;
     match differential_episode(seed) {
         Ok(stats) if stats.skipped => {
@@ -65,11 +91,17 @@ fn episode(seed: u64, tenants: usize, migrate_every: u64) -> bool {
         }
     }
     if tenants > 0 {
-        match tenants_episode(seed, tenants, migrate_every) {
-            Ok(stats) => println!(
-                "seed {seed:#018x}: tenants ok — {} tenant(s), {} migration(s), {} decline(s)",
-                stats.tenants, stats.migrations, stats.declined
-            ),
+        match tenants_episode_fleet(seed, tenants, migrate_every, force_fault) {
+            Ok((stats, fleet, post_mortem)) => {
+                println!(
+                    "seed {seed:#018x}: tenants ok — {} tenant(s), {} migration(s), {} decline(s), {} fleet cycles",
+                    stats.tenants, stats.migrations, stats.declined, fleet.elapsed_cycles
+                );
+                agg.stats.merge(&fleet);
+                if agg.post_mortem.is_none() {
+                    agg.post_mortem = post_mortem;
+                }
+            }
             Err(msg) => {
                 eprintln!("seed {seed:#018x}: MULTI-TENANT DIVERGENCE\n{msg}");
                 eprintln!(
@@ -90,6 +122,9 @@ fn main() -> ExitCode {
     let mut replay: Option<u64> = None;
     let mut tenants = 0usize;
     let mut migrate_every = 0u64;
+    let mut fleetstats_path: Option<String> = None;
+    let mut postmortem_path: Option<String> = None;
+    let mut force_fault = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -118,24 +153,74 @@ fn main() -> ExitCode {
                 let Some(v) = args.get(i).and_then(|s| parse_u64(s)) else { return usage() };
                 migrate_every = v;
             }
+            "--fleetstats" => {
+                i += 1;
+                let Some(p) = args.get(i) else { return usage() };
+                fleetstats_path = Some(p.clone());
+            }
+            "--postmortem" => {
+                i += 1;
+                let Some(p) = args.get(i) else { return usage() };
+                postmortem_path = Some(p.clone());
+            }
+            "--force-fault" => force_fault = true,
             _ => return usage(),
         }
         i += 1;
     }
 
-    if let Some(seed) = replay {
-        let ok = episode(seed, tenants, migrate_every);
-        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
-    }
-
-    let mut state = base_seed;
+    let mut agg = FleetAggregate::default();
     let mut failures = 0u64;
-    for _ in 0..iters {
-        let seed = splitmix64(&mut state);
-        if !episode(seed, tenants, migrate_every) {
+    let episodes;
+    if let Some(seed) = replay {
+        episodes = 1;
+        if !episode(seed, tenants, migrate_every, force_fault, &mut agg) {
             failures += 1;
         }
+    } else {
+        episodes = iters;
+        let mut state = base_seed;
+        for _ in 0..iters {
+            let seed = splitmix64(&mut state);
+            if !episode(seed, tenants, migrate_every, force_fault, &mut agg) {
+                failures += 1;
+            }
+        }
+        println!("soak: {iters} episode(s), {failures} failure(s)");
     }
-    println!("soak: {iters} episode(s), {failures} failure(s)");
+
+    if let Some(path) = fleetstats_path {
+        if tenants == 0 {
+            eprintln!("soak: --fleetstats requires --tenants K");
+            return ExitCode::from(2);
+        }
+        let json = agg.stats.to_json();
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("soak: failed to write fleetstats to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "soak: wrote fleetstats for {episodes} episode(s) ({} merged run(s)) to {path}",
+            agg.stats.runs
+        );
+    }
+    if let Some(path) = postmortem_path {
+        match &agg.post_mortem {
+            Some(dump) => {
+                if let Err(e) = std::fs::write(&path, dump) {
+                    eprintln!("soak: failed to write post-mortem to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("soak: wrote flight-recorder post-mortem to {path}");
+            }
+            None => {
+                eprintln!(
+                    "soak: --postmortem given but no episode declined or faulted \
+                     (try --force-fault)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE }
 }

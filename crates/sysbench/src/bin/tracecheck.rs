@@ -30,6 +30,15 @@
 //!   cycles, and, for an accepted offload (`"reject": null`), requires a
 //!   non-empty heatmap (`fires_total > 0`). Used by `scripts/ci.sh` as
 //!   the profile smoke test.
+//! * `tracecheck fleetstats <stats.json>` — validates a
+//!   `"schema":"mesa.fleetstats/v1"` export (from `soak --fleetstats` or
+//!   `FleetStats::to_json`): full JSON syntax check, exact occupancy
+//!   conservation (`Σ band_busy + Σ band_idle == elapsed_cycles × bands`),
+//!   quantile monotonicity (`min ≤ p50 ≤ p90 ≤ p99 ≤ max`) for every
+//!   latency histogram, and `migrations == migration_cycles.count`.
+//! * `tracecheck postmortem <dump.json>` — validates a flight-recorder
+//!   post-mortem (`"schema":"mesa.flight/v1"`): full JSON syntax check, a
+//!   non-empty reason, and at least one recorded event.
 
 use mesa_trace::{validate_chrome_trace, validate_json};
 use std::process::ExitCode;
@@ -41,11 +50,15 @@ fn main() -> ExitCode {
         Some("benchgate") => check_benchgate(&args[1..]),
         Some("benchdiff") => check_benchdiff(&args[1..]),
         Some("profile") => check_profile(args.get(1).map_or("", String::as_str)),
+        Some("fleetstats") => check_fleetstats(args.get(1).map_or("", String::as_str)),
+        Some("postmortem") => check_postmortem(args.get(1).map_or("", String::as_str)),
         _ => Err(
             "usage: tracecheck chrome <trace.json>\n\
              \x20      tracecheck benchgate <bench.json> <name_a> <name_b> <max_ratio>\n\
              \x20      tracecheck benchdiff <new.json> <baseline.json> <max_ratio> [name...]\n\
-             \x20      tracecheck profile <report.json>"
+             \x20      tracecheck profile <report.json>\n\
+             \x20      tracecheck fleetstats <stats.json>\n\
+             \x20      tracecheck postmortem <dump.json>"
                 .to_string(),
         ),
     };
@@ -195,6 +208,109 @@ fn check_profile(path: &str) -> Result<String, String> {
     ))
 }
 
+/// Latency histograms every fleetstats export must carry, in schema order.
+const FLEET_HISTOGRAMS: [&str; 3] = ["queue_wait_cycles", "slice_cycles", "migration_cycles"];
+
+fn check_fleetstats(path: &str) -> Result<String, String> {
+    if path.is_empty() {
+        return Err("fleetstats: missing <stats.json> path".into());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    check_finite(path, &text)?;
+    validate_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let compact: String = text.split_whitespace().collect();
+    if !compact.contains("\"schema\":\"mesa.fleetstats/v1\"") {
+        return Err(format!("{path}: missing \"schema\":\"mesa.fleetstats/v1\" marker"));
+    }
+
+    let field = |key: &str| -> Result<u64, String> {
+        field_u64(&compact, key).ok_or_else(|| format!("{path}: no field {key:?}"))
+    };
+    let elapsed = field("elapsed_cycles")?;
+    let bands = field("bands")? as usize;
+    let busy = field_u64_array(&compact, "band_busy")
+        .ok_or_else(|| format!("{path}: no array \"band_busy\""))?;
+    let idle = field_u64_array(&compact, "band_idle")
+        .ok_or_else(|| format!("{path}: no array \"band_idle\""))?;
+    if busy.len() != bands || idle.len() != bands {
+        return Err(format!(
+            "{path}: band arrays have {}/{} slots, expected bands = {bands}",
+            busy.len(),
+            idle.len()
+        ));
+    }
+    // Occupancy conservation: every elapsed fleet cycle is attributed to
+    // every band slot as exactly one of busy or idle.
+    let occupied: u128 = busy.iter().chain(&idle).map(|&v| u128::from(v)).sum();
+    let expected = u128::from(elapsed) * bands as u128;
+    if occupied != expected {
+        return Err(format!(
+            "{path}: occupancy not conserved: Σ busy + Σ idle = {occupied}, \
+             expected elapsed_cycles × bands = {expected}"
+        ));
+    }
+
+    // Quantile monotonicity for each latency histogram. The histogram's
+    // JSON field order (count, sum, min, p50, p90, p99, max) is part of
+    // the schema, so first-occurrence extraction on the sub-object works.
+    for name in FLEET_HISTOGRAMS {
+        let needle = format!("\"{name}\":{{");
+        let Some(pos) = compact.find(&needle) else {
+            return Err(format!("{path}: no histogram {name:?}"));
+        };
+        let sub = &compact[pos..];
+        let hfield = |key: &str| -> Result<u64, String> {
+            field_u64(sub, key)
+                .ok_or_else(|| format!("{path}: histogram {name:?} has no field {key:?}"))
+        };
+        let (count, min) = (hfield("count")?, hfield("min")?);
+        let (p50, p90) = (hfield("p50")?, hfield("p90")?);
+        let (p99, max) = (hfield("p99")?, hfield("max")?);
+        if count > 0 && !(min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max) {
+            return Err(format!(
+                "{path}: histogram {name:?} quantiles not monotone: \
+                 min={min} p50={p50} p90={p90} p99={p99} max={max}"
+            ));
+        }
+        if name == "migration_cycles" {
+            let migrations = field("migrations")?;
+            if count != migrations {
+                return Err(format!(
+                    "{path}: migration_cycles has {count} sample(s) but the \
+                     export reports {migrations} migration(s)"
+                ));
+            }
+        }
+    }
+    Ok(format!(
+        "{path}: valid fleetstats export — {} run(s), {bands} band(s), \
+         {elapsed} fleet cycles conserved, {} histogram(s) monotone",
+        field("runs")?,
+        FLEET_HISTOGRAMS.len()
+    ))
+}
+
+fn check_postmortem(path: &str) -> Result<String, String> {
+    if path.is_empty() {
+        return Err("postmortem: missing <dump.json> path".into());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    check_finite(path, &text)?;
+    validate_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let compact: String = text.split_whitespace().collect();
+    if !compact.contains("\"schema\":\"mesa.flight/v1\"") {
+        return Err(format!("{path}: missing \"schema\":\"mesa.flight/v1\" marker"));
+    }
+    if compact.contains("\"reason\":\"\"") || !compact.contains("\"reason\":\"") {
+        return Err(format!("{path}: post-mortem has no reason"));
+    }
+    let events = compact.matches("\"cycle\":").count();
+    if events == 0 {
+        return Err(format!("{path}: post-mortem recorded zero flight events"));
+    }
+    Ok(format!("{path}: valid flight post-mortem, {events} event(s)"))
+}
+
 /// Rejects non-finite numeric literals (`NaN`, `inf`, `-inf`) in value
 /// position. JSON has no syntax for them, but Rust's float formatter emits
 /// these tokens when an upstream ratio guard is missed — so their presence
@@ -221,6 +337,17 @@ fn field_u64(compact: &str, key: &str) -> Option<u64> {
     let (_, rest) = compact.split_once(&needle)?;
     let num: String = rest.chars().take_while(char::is_ascii_digit).collect();
     num.parse().ok()
+}
+
+/// Extracts the first `"key": [u64, ...]` array from compacted JSON.
+fn field_u64_array(compact: &str, key: &str) -> Option<Vec<u64>> {
+    let needle = format!("\"{key}\":[");
+    let (_, rest) = compact.split_once(&needle)?;
+    let (body, _) = rest.split_once(']')?;
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|n| n.parse().ok()).collect()
 }
 
 /// Lists every benchmark name in a JSON-lines report, in file order.
@@ -278,6 +405,15 @@ mod tests {
         assert_eq!(field_u64(compact, "total_cycles"), Some(690));
         assert_eq!(field_u64(compact, "retiring"), Some(49));
         assert_eq!(field_u64(compact, "missing"), None);
+    }
+
+    #[test]
+    fn array_extraction_parses_u64_lists() {
+        let compact = "{\"band_busy\":[1,2,3],\"band_idle\":[],\"x\":[9]}";
+        assert_eq!(field_u64_array(compact, "band_busy"), Some(vec![1, 2, 3]));
+        assert_eq!(field_u64_array(compact, "band_idle"), Some(Vec::new()));
+        assert_eq!(field_u64_array(compact, "missing"), None);
+        assert_eq!(field_u64_array("{\"a\":[1,x]}", "a"), None);
     }
 
     #[test]

@@ -317,6 +317,30 @@ fn data_digest(mem: &mut MemorySystem) -> u64 {
     h
 }
 
+/// The seed-derived plan for one multi-tenant episode: the round-robin
+/// quantum and one named [`TenantJob`] per tenant. Fully deterministic in
+/// `(seed, tenants)` — calling it twice builds identical fresh jobs, which
+/// is how the solo-baseline and shared runs stay comparable. `mesa-top`
+/// uses the same helper so its dashboard replays exactly what `soak` ran.
+#[must_use]
+pub fn tenant_jobs(seed: u64, tenants: usize) -> (u64, Vec<(&'static str, TenantJob)>) {
+    let mut s = seed ^ 0x7E4A_17F0;
+    let kernels = mesa_workloads::all(KernelSize::Tiny);
+    let picks: Vec<usize> =
+        (0..tenants).map(|_| (splitmix64(&mut s) as usize) % kernels.len()).collect();
+    let quantum = 100 + splitmix64(&mut s) % 400;
+    let jobs = picks
+        .iter()
+        .map(|&p| {
+            let kernel = &kernels[p];
+            let mut mem = MemorySystem::new(MemConfig::default(), 2);
+            kernel.populate(mem.data_mut());
+            (kernel.name, TenantJob::new(kernel.program.clone(), kernel.entry.clone(), mem))
+        })
+        .collect();
+    (quantum, jobs)
+}
+
 /// One multi-tenant fabric episode, fully derived from `seed`: `tenants`
 /// workloads kernels share one M-128 fabric, time-sliced with a
 /// seed-derived quantum and periodically checkpoint+migrated between
@@ -334,24 +358,49 @@ pub fn tenants_episode(
     tenants: usize,
     migrate_every: u64,
 ) -> Result<TenantsStats, String> {
-    let mut s = seed ^ 0x7E4A_17F0;
-    let kernels = mesa_workloads::all(KernelSize::Tiny);
-    let picks: Vec<usize> =
-        (0..tenants).map(|_| (splitmix64(&mut s) as usize) % kernels.len()).collect();
-    let quantum = 100 + splitmix64(&mut s) % 400;
+    tenants_episode_fleet(seed, tenants, migrate_every, false).map(|(stats, _, _)| stats)
+}
+
+/// [`tenants_episode`] returning the fleet telemetry as well: the
+/// differential stats, the shared run's [`FleetStats`], and the flight
+/// recorder's post-mortem if the run declined a job or survived a fault.
+///
+/// `force_fault` arms a config-stream truncation on tenant 0 — in *both*
+/// the solo baseline and the shared run, so the resulting declines still
+/// compare equal — to exercise the decline → flight-recorder → post-mortem
+/// path end to end (CI greps the dump for well-formedness).
+///
+/// A differential divergence also dumps: the returned error message
+/// carries the shared run's flight post-mortem inline.
+///
+/// # Errors
+/// As [`tenants_episode`]; the message embeds the post-mortem JSON.
+pub fn tenants_episode_fleet(
+    seed: u64,
+    tenants: usize,
+    migrate_every: u64,
+    force_fault: bool,
+) -> Result<(TenantsStats, mesa_core::FleetStats, Option<String>), String> {
     let system = SystemConfig::m128();
-    let job_for = |slot: usize| {
-        let kernel = &kernels[picks[slot]];
-        let mut mem = MemorySystem::new(MemConfig::default(), 2);
-        kernel.populate(mem.data_mut());
-        TenantJob::new(kernel.program.clone(), kernel.entry.clone(), mem)
+    let (quantum, named) = tenant_jobs(seed, tenants);
+    let names: Vec<&'static str> = named.iter().map(|(n, _)| *n).collect();
+    let arm = |jobs: &mut Vec<TenantJob>| {
+        if force_fault {
+            if let Some(job) = jobs.first_mut() {
+                job.faults.truncate_config = Some(2);
+            }
+        }
     };
 
     // Sequential solo baselines: each job is its fabric's only tenant,
     // with the same quantum and migration cadence.
     let mut solo = Vec::with_capacity(tenants);
     for slot in 0..tenants {
-        let mut jobs = vec![job_for(slot)];
+        let (_, mut fresh) = tenant_jobs(seed, tenants);
+        let mut jobs = vec![fresh.swap_remove(slot).1];
+        if force_fault && slot == 0 {
+            jobs[0].faults.truncate_config = Some(2);
+        }
         let mut reports = run_tenants(&system, &mut jobs, quantum, migrate_every);
         let outcome = reports.pop().expect("one report per job");
         let digest = data_digest(&mut jobs[0].mem);
@@ -359,57 +408,78 @@ pub fn tenants_episode(
     }
 
     // The concurrent run: all jobs admitted to one shared fabric.
-    let mut jobs: Vec<TenantJob> = (0..tenants).map(&job_for).collect();
-    let reports = run_tenants(&system, &mut jobs, quantum, migrate_every);
+    let mut jobs: Vec<TenantJob> = named.into_iter().map(|(_, j)| j).collect();
+    arm(&mut jobs);
+    let run = mesa_core::run_tenants_fleet(
+        &system,
+        &mut jobs,
+        quantum,
+        migrate_every,
+        &mut mesa_trace::NullTracer,
+    );
+    let reports = &run.outcomes;
 
     let mut stats = TenantsStats { tenants, ..TenantsStats::default() };
+    let mut divergence: Option<String> = None;
     for (slot, (shared, (solo_outcome, solo_state, solo_digest))) in
         reports.iter().zip(&solo).enumerate()
     {
-        let name = kernels[picks[slot]].name;
+        let name = names[slot];
         match (shared, solo_outcome) {
             (Ok(r), Ok(sr)) => {
                 if r.accel_iterations != sr.accel_iterations {
-                    return Err(format!(
+                    divergence = Some(format!(
                         "tenant {slot} ({name}): {} iterations shared vs {} solo",
                         r.accel_iterations, sr.accel_iterations
                     ));
+                    break;
                 }
                 let state = format!("{:?}", jobs[slot].state);
                 if state != *solo_state {
-                    return Err(format!(
+                    divergence = Some(format!(
                         "tenant {slot} ({name}): final state diverged\nshared: {state}\nsolo:   {solo_state}"
                     ));
+                    break;
                 }
                 let digest = data_digest(&mut jobs[slot].mem);
                 if digest != *solo_digest {
-                    return Err(format!(
+                    divergence = Some(format!(
                         "tenant {slot} ({name}): output memory diverged ({digest:#018x} vs {solo_digest:#018x})"
                     ));
+                    break;
                 }
                 stats.migrations += r.migrations;
             }
             (Err(e), Err(se)) => {
                 if e.to_string() != se.to_string() {
-                    return Err(format!(
+                    divergence = Some(format!(
                         "tenant {slot} ({name}): decline diverged — shared \"{e}\" vs solo \"{se}\""
                     ));
+                    break;
                 }
                 stats.declined += 1;
             }
             (Ok(_), Err(se)) => {
-                return Err(format!(
+                divergence = Some(format!(
                     "tenant {slot} ({name}): shared run offloaded but solo declined with \"{se}\""
                 ));
+                break;
             }
             (Err(e), Ok(_)) => {
-                return Err(format!(
+                divergence = Some(format!(
                     "tenant {slot} ({name}): solo run offloaded but shared declined with \"{e}\""
                 ));
+                break;
             }
         }
     }
-    Ok(stats)
+    if let Some(msg) = divergence {
+        // The always-on flight recorder earns its keep here: dump the
+        // recent per-tenant history alongside the divergence.
+        let dump = run.flight.post_mortem(&format!("differential divergence: {msg}"));
+        return Err(format!("{msg}\nflight post-mortem: {dump}"));
+    }
+    Ok((stats, run.stats, run.post_mortem))
 }
 
 #[cfg(test)]
@@ -442,6 +512,40 @@ mod tests {
             assert_eq!(a.migrations, b.migrations, "seed {seed}");
             assert_eq!(a.declined, b.declined, "seed {seed}");
             assert_eq!(a.tenants, 2);
+        }
+    }
+
+    #[test]
+    fn fleet_episode_exports_telemetry_and_forced_fault_dumps() {
+        let (stats, fleet, pm) =
+            tenants_episode_fleet(2, 2, 3, false).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(stats.tenants, 2);
+        assert_eq!(fleet.runs, 1);
+        let busy: u64 = fleet.band_busy.iter().sum();
+        let idle: u64 = fleet.band_idle.iter().sum();
+        assert_eq!(busy + idle, fleet.elapsed_cycles * fleet.bands as u64);
+        assert!(pm.is_none(), "clean run must not dump a post-mortem");
+
+        // Forced fault: tenant 0's config stream truncates identically in
+        // the solo baseline and the shared run, so the declines compare
+        // equal — and the decline auto-dumps a flight post-mortem.
+        let (stats, _, pm) =
+            tenants_episode_fleet(2, 2, 3, true).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(stats.declined, 1);
+        let dump = pm.expect("decline must produce a post-mortem");
+        assert!(dump.starts_with("{\"schema\":\"mesa.flight/v1\""));
+        mesa_trace::validate_json(&dump).expect("post-mortem parses");
+    }
+
+    #[test]
+    fn tenant_jobs_is_deterministic() {
+        let (q1, jobs1) = tenant_jobs(7, 3);
+        let (q2, jobs2) = tenant_jobs(7, 3);
+        assert_eq!(q1, q2);
+        assert_eq!(jobs1.len(), 3);
+        for ((n1, j1), (n2, j2)) in jobs1.iter().zip(&jobs2) {
+            assert_eq!(n1, n2);
+            assert_eq!(format!("{:?}", j1.state), format!("{:?}", j2.state));
         }
     }
 }

@@ -24,6 +24,7 @@ pub use harness::{
     region_ldfg, BaselineRun, MesaRun,
 };
 pub use kernelgen::{
-    controller_episode, differential_episode, tenants_episode, EpisodeStats, TenantsStats,
+    controller_episode, differential_episode, tenant_jobs, tenants_episode,
+    tenants_episode_fleet, EpisodeStats, TenantsStats,
 };
 pub use pool::{jobs, par_map, set_jobs};

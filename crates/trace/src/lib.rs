@@ -67,9 +67,13 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
+pub mod histogram;
 pub mod metrics;
 pub mod tracer;
 
 pub use export::{json_string, validate_chrome_trace, validate_json, ChromeTraceSummary};
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use flight::{FlightEvent, FlightRecorder, FLIGHT_LANE_CAPACITY};
+pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
+pub use metrics::{labeled_key, MetricsRegistry, MetricsSnapshot};
 pub use tracer::{Event, EventKind, NullTracer, RingTracer, Subsystem, Tracer};

@@ -7,14 +7,16 @@
 //! and JSON export deterministically ordered, which the byte-identical
 //! trace tests rely on.
 
+use crate::histogram::Histogram;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Named monotonic counters and last-value gauges.
+/// Named monotonic counters, last-value gauges, and latency histograms.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 /// A point-in-time copy of a [`MetricsRegistry`], used to diff phases.
@@ -24,6 +26,27 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauge values at snapshot time (latest value wins in a diff).
     pub gauges: BTreeMap<String, f64>,
+    /// Histogram state at snapshot time (latest state wins in a diff).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Canonical flat key for a labeled counter: `name{k1=v1,k2=v2}` with the
+/// labels sorted by key, so the same label set always maps to the same
+/// `BTreeMap` entry regardless of call-site ordering.
+#[must_use]
+pub fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut key = String::from(name);
+    key.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let _ = write!(key, "{k}={v}");
+    }
+    key.push('}');
+    key
 }
 
 impl MetricsRegistry {
@@ -43,10 +66,36 @@ impl MetricsRegistry {
         self.gauges.insert(name.to_string(), value);
     }
 
+    /// Adds `delta` to the labeled counter `name{labels}` — e.g.
+    /// `add_labeled("fabric.slices", &[("tenant", "2")], 1)` bumps
+    /// `fabric.slices{tenant=2}`. Labels are canonicalized (sorted by
+    /// key), so call-site ordering does not fragment the series.
+    pub fn add_labeled(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = labeled_key(name, labels);
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Records one sample into the histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
     /// Current value of counter `name` (zero if never touched).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of the labeled counter `name{labels}`.
+    #[must_use]
+    pub fn labeled_counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters.get(&labeled_key(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if any sample has been observed into it.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
     }
 
     /// Current value of gauge `name`, if set.
@@ -55,27 +104,31 @@ impl MetricsRegistry {
         self.gauges.get(name).copied()
     }
 
-    /// Number of distinct counters and gauges registered.
+    /// Number of distinct counters, gauges, and histograms registered.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.counters.len() + self.gauges.len()
+        self.counters.len() + self.gauges.len() + self.histograms.len()
     }
 
     /// Whether nothing has been registered yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
-    /// A point-in-time copy of every counter and gauge.
+    /// A point-in-time copy of every counter, gauge, and histogram.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot { counters: self.counters.clone(), gauges: self.gauges.clone() }
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
     }
 
     /// The change since `earlier`: counter deltas (saturating, so a reset
     /// in between reads as zero rather than wrapping) and the latest gauge
-    /// values.
+    /// and histogram states.
     #[must_use]
     pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let counters = self
@@ -86,7 +139,11 @@ impl MetricsRegistry {
                 (k.clone(), v.saturating_sub(before))
             })
             .collect();
-        MetricsSnapshot { counters, gauges: self.gauges.clone() }
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
     }
 
     /// Plain-text table of every counter and gauge, sorted by name.
@@ -103,13 +160,15 @@ impl MetricsRegistry {
 }
 
 impl MetricsSnapshot {
-    /// Plain-text table of every counter and gauge, sorted by name.
+    /// Plain-text table of every counter, gauge, and histogram, sorted by
+    /// name within each group.
     #[must_use]
     pub fn render(&self) -> String {
         let width = self
             .counters
             .keys()
             .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
             .map(String::len)
             .max()
             .unwrap_or(0);
@@ -120,10 +179,14 @@ impl MetricsSnapshot {
         for (k, v) in &self.gauges {
             let _ = writeln!(out, "{k:width$}  {v:.3}");
         }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(out, "{k:width$}  {}", h.render());
+        }
         out
     }
 
-    /// JSON object `{"counters": {...}, "gauges": {...}}`, sorted by name.
+    /// JSON object `{"counters": {...}, "gauges": {...}, "histograms":
+    /// {...}}`, sorted by name within each group.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
@@ -145,6 +208,13 @@ impl MetricsSnapshot {
             } else {
                 let _ = write!(out, "{}:null", crate::export::json_string(k));
             }
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", crate::export::json_string(k), h.to_json());
         }
         out.push_str("}}");
         out
@@ -194,6 +264,36 @@ mod tests {
         assert!(json.contains("\"alpha\":2"));
         assert!(json.contains("\"mid\":0.5"));
         crate::export::validate_json(&json).expect("metrics JSON parses");
+    }
+
+    #[test]
+    fn labeled_counters_canonicalize_label_order() {
+        let mut m = MetricsRegistry::new();
+        m.add_labeled("fabric.slices", &[("tenant", "2"), ("region", "r04")], 3);
+        m.add_labeled("fabric.slices", &[("region", "r04"), ("tenant", "2")], 4);
+        assert_eq!(m.counter("fabric.slices{region=r04,tenant=2}"), 7);
+        assert_eq!(
+            m.labeled_counter("fabric.slices", &[("tenant", "2"), ("region", "r04")]),
+            7
+        );
+    }
+
+    #[test]
+    fn histograms_register_render_and_export() {
+        let mut m = MetricsRegistry::new();
+        m.observe("fabric.queue_wait_cycles", 100);
+        m.observe("fabric.queue_wait_cycles", 900);
+        assert_eq!(m.histogram("fabric.queue_wait_cycles").map(|h| h.count()), Some(2));
+        assert!(m.histogram("missing").is_none());
+        assert_eq!(m.len(), 1);
+        let text = m.render();
+        assert!(text.contains("fabric.queue_wait_cycles"));
+        assert!(text.contains("count=2"));
+        let json = m.to_json();
+        assert!(json.contains("\"histograms\":{\"fabric.queue_wait_cycles\":{\"count\":2"));
+        crate::export::validate_json(&json).expect("metrics JSON parses");
+        // Snapshots round-trip histogram state.
+        assert_eq!(m.snapshot(), m.diff(&MetricsSnapshot::default()));
     }
 
     #[test]

@@ -34,6 +34,13 @@ MESA_BENCH_OUT="$fresh" cargo bench --offline -p mesa-bench --bench components
 cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchdiff \
   "$fresh" "$BASELINE" "$MAX_RATIO"
 
+# Fabric virtualization gets a tighter leash (FABRIC_MAX_RATIO, default
+# 1.05): the fleet-telemetry instrumentation on the session and
+# checkpoint/restore paths must stay in the noise.
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchdiff \
+  "$fresh" "$BASELINE" "${FABRIC_MAX_RATIO:-1.05}" \
+  fabric/nn_single_tenant_session_on_m128 fabric/nn_checkpoint_restore_roundtrip
+
 # Cross-entry gate from the same fresh run (common-mode noise cancels):
 # the single-tenant FabricManager session must stay within 10% of the raw
 # engine run — the virtualization layer is free for solo offloads.

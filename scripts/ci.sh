@@ -38,7 +38,9 @@ profile_tmp="$(mktemp -t mesa_profile.XXXXXX.json)"
 fig_j1="$(mktemp -t mesa_fig_j1.XXXXXX.txt)"
 fig_j2="$(mktemp -t mesa_fig_j2.XXXXXX.txt)"
 bench_tmp="$(mktemp -t mesa_bench.XXXXXX.json)"
-trap 'rm -f "$trace_tmp" "$trace_tmp.jsonl" "$profile_tmp" "$fig_j1" "$fig_j2" "$bench_tmp"' EXIT
+fleet_tmp="$(mktemp -t mesa_fleet.XXXXXX.json)"
+pm_tmp="$(mktemp -t mesa_postmortem.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$trace_tmp.jsonl" "$profile_tmp" "$fig_j1" "$fig_j2" "$bench_tmp" "$fleet_tmp" "$pm_tmp"' EXIT
 cargo run --release --offline -q -p mesa-bench --bin figures -- trace tiny --trace "$trace_tmp"
 cargo run --release --offline -q -p mesa-bench --bin tracecheck -- chrome "$trace_tmp"
 
@@ -57,9 +59,20 @@ cargo run --release --offline -q -p mesa-bench --bin soak -- --iters 16 --seed 1
 # Multi-tenant fabric smoke: the same seed-replayable soak loop with two
 # concurrent tenants sharing the fabric, checkpoint+migrating every third
 # slice. Sharing must be architecturally invisible against per-tenant solo
-# runs; a divergence prints the seed and the exact replay flags.
+# runs; a divergence prints the seed and the exact replay flags. The
+# aggregated fleetstats export is validated structurally (well-formed
+# JSON, exact occupancy conservation, monotone latency quantiles).
 cargo run --release --offline -q -p mesa-bench --bin soak -- \
-  --iters 16 --seed 3 --tenants 2 --migrate-every 3
+  --iters 16 --seed 3 --tenants 2 --migrate-every 3 --fleetstats "$fleet_tmp"
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- fleetstats "$fleet_tmp"
+
+# Flight-recorder smoke: force a config-stream truncation on one tenant so
+# the decline → post-mortem path fires, then validate the dump.
+cargo run --release --offline -q -p mesa-bench --bin soak -- \
+  --iters 1 --seed 2 --tenants 2 --force-fault --postmortem "$pm_tmp"
+grep -q '"schema":"mesa.flight/v1"' "$pm_tmp"
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- postmortem "$pm_tmp"
+echo "flight-recorder post-mortem smoke: forced decline produced a valid dump"
 
 # Parallel-harness determinism smoke: the full figure suite must be
 # byte-identical no matter how many worker threads run the per-kernel
@@ -99,10 +112,16 @@ cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
   1.10
 
 # (3) No component's median may regress past MAX_RATIO of the committed
-#     baseline (bench_diff.sh's 1.15 default is for quiet machines).
+#     baseline (bench_diff.sh's 1.15 default is for quiet machines), and
+#     the fabric virtualization benches get a tighter leash
+#     (FABRIC_MAX_RATIO, default 1.05): the telemetry instrumentation
+#     added to the session/checkpoint paths must stay in the noise.
 for attempt in 1 2 3; do
   if cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchdiff \
-    "$bench_tmp" BENCH_components.json "${MAX_RATIO:-1.5}"; then
+       "$bench_tmp" BENCH_components.json "${MAX_RATIO:-1.5}" \
+     && cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchdiff \
+       "$bench_tmp" BENCH_components.json "${FABRIC_MAX_RATIO:-1.05}" \
+       fabric/nn_single_tenant_session_on_m128 fabric/nn_checkpoint_restore_roundtrip; then
     break
   elif [[ "$attempt" == 3 ]]; then
     echo "ci: bench regression persisted across $attempt attempts" >&2

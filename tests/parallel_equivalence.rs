@@ -7,7 +7,9 @@
 //! process-global (`mesa_bench::set_jobs`), so splitting this into several
 //! `#[test]`s would race on it.
 
-use mesa::core::{run_tenants, OffloadReport, SystemConfig, TenantJob};
+use mesa::core::{
+    run_tenants, run_tenants_fleet, FleetStats, OffloadReport, SystemConfig, TenantJob,
+};
 use mesa::isa::reg::abi::*;
 use mesa::isa::{ArchState, Asm, Xlen};
 use mesa::mem::{MemConfig, MemorySystem};
@@ -33,6 +35,7 @@ fn all_parallel_figures(size: KernelSize) -> String {
 fn figures_identical_for_any_worker_count() {
     bench::set_jobs(1);
     let sequential = all_parallel_figures(KernelSize::Tiny);
+    let fleet_sequential = fleet_stats_json();
 
     for jobs in [2, 4] {
         bench::set_jobs(jobs);
@@ -41,10 +44,31 @@ fn figures_identical_for_any_worker_count() {
             sequential, parallel,
             "figure results diverged between --jobs 1 and --jobs {jobs}"
         );
+        // The fleet scheduler time-slices one engine on one thread, so the
+        // fleetstats export must stay byte-identical at any worker count.
+        assert_eq!(
+            fleet_sequential,
+            fleet_stats_json(),
+            "fleetstats JSON diverged between --jobs 1 and --jobs {jobs}"
+        );
     }
 
     // Leave the global override cleared for any other harness user.
     bench::set_jobs(0);
+}
+
+/// One full fleet run over the three synthetic tenants, exported as the
+/// stable fleetstats JSON.
+fn fleet_stats_json() -> String {
+    let mut jobs = vec![tenant_job(0, 2000), tenant_job(1, 1500), tenant_job(2, 2600)];
+    let run = run_tenants_fleet(
+        &SystemConfig::m128(),
+        &mut jobs,
+        180,
+        0,
+        &mut mesa::trace::NullTracer,
+    );
+    run.stats.to_json()
 }
 
 /// One synthetic loop job for the shared fabric. Three shapes with
@@ -101,6 +125,9 @@ fn normalized(report: &OffloadReport) -> String {
     let mut r = report.clone();
     r.tenant = 0;
     r.fabric_region = None;
+    // Queue wait is fleet-clock accounting: it depends on which other
+    // tenants held bands at admission, never on the tenant's own timing.
+    r.queue_wait_cycles = 0;
     format!("{r:?}")
 }
 
@@ -164,5 +191,71 @@ fn concurrent_tenants_match_sequential_solo_runs_in_any_order() {
                 "admission order {order:?}: architectural state for job {i} diverged"
             );
         }
+    }
+}
+
+/// Fleet telemetry is a pure aggregate of per-tenant execution: the
+/// shared-fabric `FleetStats` must equal the fold (merge) of each job's
+/// solo fleet run on every order-insensitive dimension — total elapsed,
+/// the slice-latency histogram, total band occupancy, per-tenant
+/// (cycles, iterations, slices) — and the occupancy conservation
+/// invariant must hold exactly under every admission order.
+#[test]
+fn fleet_stats_equal_fold_of_solo_runs_in_any_order() {
+    const QUANTUM: u64 = 180;
+    let system = SystemConfig::m128();
+    let shapes: [(usize, u64); 3] = [(0, 2000), (1, 1500), (2, 2600)];
+
+    // Fold of solo fleet runs: each job as the fabric's only tenant.
+    let mut fold = FleetStats::default();
+    for &(kind, n) in &shapes {
+        let mut jobs = vec![tenant_job(kind, n)];
+        let run =
+            run_tenants_fleet(&system, &mut jobs, QUANTUM, 0, &mut mesa::trace::NullTracer);
+        assert!(run.outcomes[0].is_ok(), "solo tenant offloads");
+        fold.merge(&run.stats);
+    }
+
+    let shared = |order: [usize; 3]| {
+        let mut jobs: Vec<TenantJob> =
+            order.iter().map(|&i| tenant_job(shapes[i].0, shapes[i].1)).collect();
+        run_tenants_fleet(&system, &mut jobs, QUANTUM, 0, &mut mesa::trace::NullTracer)
+    };
+
+    // Determinism: replaying the same admission order reproduces the
+    // export byte for byte.
+    assert_eq!(shared([0, 1, 2]).stats.to_json(), shared([0, 1, 2]).stats.to_json());
+
+    let fold_tenants = |stats: &FleetStats| {
+        let mut t: Vec<_> = stats
+            .tenants
+            .iter()
+            .map(|t| (t.cycles, t.iterations, t.slices, t.migrations))
+            .collect();
+        t.sort_unstable();
+        t
+    };
+
+    for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+        let run = shared(order);
+        let s = &run.stats;
+        let busy: u64 = s.band_busy.iter().sum();
+        let idle: u64 = s.band_idle.iter().sum();
+        assert_eq!(
+            busy + idle,
+            s.elapsed_cycles * s.bands as u64,
+            "admission order {order:?}: occupancy not conserved"
+        );
+        assert_eq!(s.elapsed_cycles, fold.elapsed_cycles, "order {order:?}: elapsed diverged");
+        assert_eq!(
+            s.admitted_full + s.admitted_shrunk + s.queued,
+            3,
+            "order {order:?}: every job must admit"
+        );
+        assert_eq!(s.slice_cycles, fold.slice_cycles, "order {order:?}: slice histogram");
+        assert_eq!(s.migration_cycles, fold.migration_cycles, "order {order:?}");
+        assert_eq!(busy, fold.band_busy.iter().sum::<u64>(), "order {order:?}: total busy");
+        assert_eq!(fold_tenants(s), fold_tenants(&fold), "order {order:?}: per-tenant detail");
+        mesa::trace::validate_json(&s.to_json()).expect("fleetstats JSON parses");
     }
 }

@@ -106,6 +106,43 @@ fn same_run_exports_byte_identical_profile_reports() {
     mesa::trace::validate_json(&a.to_json()).expect("report JSON is well-formed");
 }
 
+/// Histogram merging is exact bucket-wise addition, so folding per-tenant
+/// histograms in any grouping — `(a ⊎ b) ⊎ c` vs `a ⊎ (b ⊎ c)` — or
+/// recording every sample into one histogram yields bit-identical
+/// summaries and JSON. Fleet telemetry aggregation (soak folding episode
+/// `FleetStats`) relies on this to be order- and grouping-insensitive.
+#[test]
+fn histogram_merge_is_associative_and_matches_whole() {
+    use mesa::trace::Histogram;
+    forall!(checker("trace::histogram_merge"), |(seed in 0u64..1_000_000, n in 1usize..64)| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        let mut whole = Histogram::new();
+        for _ in 0..n {
+            // Bit-width-uniform samples cover every bucket, including 0.
+            let bits = rng.gen_range(0..=64u64);
+            let v = if bits == 0 { 0 } else { rng.gen::<u64>() >> (64 - bits) };
+            parts[rng.gen_range(0..3usize)].record(v);
+            whole.record(v);
+        }
+        let [a, b, c] = parts;
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right_inner = b.clone();
+        right_inner.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(left.to_json(), whole.to_json());
+        prop_assert!(left.p50() <= left.p90());
+        prop_assert!(left.p90() <= left.p99());
+        prop_assert!(left.p99() <= left.max());
+        prop_assert!(left.is_empty() || left.min() <= left.p50());
+    });
+}
+
 /// Arbitrary interleavings of span opens/closes (as a simulation layer
 /// would produce them) leave the tracer balanced once every open span is
 /// closed, and the exported Chrome trace stays well-formed.
