@@ -24,6 +24,7 @@ use mesa_cpu::{
 };
 use mesa_isa::{ArchState, OpClass, ParallelKind, Program, Reg};
 use mesa_mem::{AmatTable, MemConfig, MemTraffic, MemorySystem};
+use mesa_trace::host;
 use mesa_trace::{MetricsRegistry, NullTracer, Subsystem, Tracer};
 use std::fmt;
 
@@ -523,6 +524,9 @@ impl MesaController {
         }
         const CPU: usize = 0;
 
+        // Host-side phase span: wall-clock cost of F1 monitoring (the
+        // guard closes on every early return too).
+        let host_detect = host::span("detect");
         tracer.span_begin(Subsystem::Controller, "detect", 0);
         tracer.span_begin(Subsystem::Cpu, "cpu.warmup", 0);
 
@@ -581,6 +585,7 @@ impl MesaController {
             }
         };
         tracer.span_end(Subsystem::Cpu, "cpu.warmup", warmup_cycles);
+        host::sim_cycles(warmup_cycles);
         let Some(hot) = hot else {
             if tracer.enabled() {
                 tracer.instant(
@@ -611,6 +616,10 @@ impl MesaController {
         if tracer.enabled() {
             mem.traffic().trace_counters(tracer, warmup_cycles);
         }
+        drop(host_detect);
+        // Host translate phase: trace-cache capture, C1-C3 checks, and
+        // the LDFG build inside check_region (T1).
+        let host_translate = host::span("translate");
 
         // ---- capture the region through the trace cache (binary path) ----
         // Primary fill: the machine words snooped from the fetch/retire
@@ -679,6 +688,10 @@ impl MesaController {
         }
 
         let annotation = region.annotation_at(hot.start_pc).map(|a| a.kind);
+        drop(host_translate);
+        // Host map phase: Algorithm 1 placement + program build (T2),
+        // skipped almost entirely on a config-cache hit.
+        let host_map = host::span("map");
 
         // ---- F2: map and configure (or reuse a cached configuration) ----
         let cached = self.cache.get(hot.start_pc, hot.end_pc).cloned();
@@ -728,6 +741,7 @@ impl MesaController {
                 (prog, est, lat)
             }
         };
+        drop(host_map);
         // ---- injected configuration-time faults (if a plan is armed) ----
         let fault_plan = self.fault_plan.clone().unwrap_or_default();
         let mut fault_log = FaultLog::default();
@@ -798,6 +812,7 @@ impl MesaController {
         }
 
         // ---- CPU keeps running while MESA configures (§5.1) ----
+        let host_configure = host::span("configure");
         tracer.span_begin(Subsystem::Cpu, "cpu.config_overlap", warmup_cycles);
         let mut config_phase_cpu_cycles = 0u64;
         let mut cpu_iterations_during_config = 0u64;
@@ -841,6 +856,8 @@ impl MesaController {
         // of the configuration pipeline and the overlapped CPU execution
         // governs (they run concurrently).
         let now = warmup_cycles + config.total().max(config_phase_cpu_cycles);
+        host::sim_cycles(now - warmup_cycles);
+        drop(host_configure);
         // Everything the memory system has seen so far is CPU-side work
         // (warmup + config overlap); sample it so harnesses can attribute
         // the rest of the episode's traffic to the accelerator.
@@ -922,6 +939,8 @@ impl MesaController {
             self.system.opts.iterative && self.system.opts.max_reconfigs > 0;
 
         let mut keep_optimizing = iterative;
+        let host_offload = host::span("offload");
+        let offload_started_at = now;
         tracer.span_begin(Subsystem::Controller, "offload", now);
         loop {
             let budget = if keep_optimizing && reconfigurations < self.system.opts.max_reconfigs {
@@ -966,6 +985,7 @@ impl MesaController {
             }
 
             // ---- F3: iterative optimization ----
+            let host_reoptimize = host::span("reoptimize");
             tracer.span_begin(Subsystem::Controller, "reoptimize", now);
             let critical_path_before = ldfg.critical_path().1;
             // Counter corruption: bit-flips land on the measured latencies
@@ -1067,7 +1087,10 @@ impl MesaController {
             }
             reopt_rounds.push(round);
             tracer.span_end(Subsystem::Controller, "reoptimize", now);
+            drop(host_reoptimize);
         }
+        host::sim_cycles(now - offload_started_at);
+        drop(host_offload);
         tracer.span_end(Subsystem::Controller, "offload", now);
         if tracer.enabled() {
             mem.traffic().trace_counters(tracer, now);

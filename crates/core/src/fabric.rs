@@ -31,6 +31,7 @@ use mesa_accel::{
 use mesa_cpu::OoOCore;
 use mesa_isa::ArchState;
 use mesa_mem::MemorySystem;
+use mesa_trace::host::{self, HostClock};
 use mesa_trace::{
     FlightRecorder, Histogram, MetricsRegistry, NullTracer, Subsystem, Tracer,
 };
@@ -209,6 +210,50 @@ pub struct TenantStats {
     pub checkpoint_cycles: u64,
 }
 
+/// Host-side (wall-clock) throughput section of a [`FleetStats`]
+/// export, present when the driver was given a clock via
+/// [`FleetDriver::set_host_clock`]. `mesa-top`'s host columns and the
+/// future `mesa-serve` throughput endpoint read these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostStats {
+    /// Wall nanoseconds spent inside [`FleetDriver::step`].
+    pub elapsed_ns: u64,
+    /// Scheduler rounds timed.
+    pub steps: u64,
+    /// Jobs that completed successfully so far.
+    pub episodes: u64,
+    /// Fleet clock (total scheduled session cycles) at export time.
+    pub sim_cycles: u64,
+}
+
+impl HostStats {
+    /// Completed episodes per host second (`None` before any time has
+    /// been observed).
+    #[must_use]
+    pub fn episodes_per_sec(&self) -> Option<f64> {
+        (self.elapsed_ns > 0).then(|| self.episodes as f64 * 1e9 / self.elapsed_ns as f64)
+    }
+
+    /// Simulation speed in millions of simulated cycles per host
+    /// second.
+    #[must_use]
+    pub fn sim_mcycles_per_sec(&self) -> Option<f64> {
+        (self.elapsed_ns > 0).then(|| self.sim_cycles as f64 * 1e3 / self.elapsed_ns as f64)
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"elapsed_ns\":{},\"steps\":{},\"episodes\":{},\"sim_cycles\":{},\"episodes_per_sec\":{},\"sim_mcycles_per_sec\":{}}}",
+            self.elapsed_ns,
+            self.steps,
+            self.episodes,
+            self.sim_cycles,
+            host::fmt_gauge(self.episodes_per_sec().unwrap_or(f64::NAN)),
+            host::fmt_gauge(self.sim_mcycles_per_sec().unwrap_or(f64::NAN)),
+        )
+    }
+}
+
 /// A stable, mergeable summary of one fleet run — the JSON schema
 /// (`"schema":"mesa.fleetstats/v1"`) that `tracecheck fleetstats`
 /// validates and that `mesa-serve` (ROADMAP item 2) will serve verbatim.
@@ -243,6 +288,10 @@ pub struct FleetStats {
     pub migration_cycles: Histogram,
     /// Per-tenant detail, in tenant-id order.
     pub tenants: Vec<TenantStats>,
+    /// Wall-clock throughput section (`None` unless the driver was
+    /// given a host clock; absent sections keep exports byte-identical
+    /// with pre-host-profiling runs).
+    pub host: Option<HostStats>,
 }
 
 impl FleetStats {
@@ -282,6 +331,15 @@ impl FleetStats {
         self.slice_cycles.merge(&other.slice_cycles);
         self.migration_cycles.merge(&other.migration_cycles);
         self.tenants.extend(other.tenants.iter().cloned());
+        self.host = match (self.host, other.host) {
+            (Some(a), Some(b)) => Some(HostStats {
+                elapsed_ns: a.elapsed_ns.saturating_add(b.elapsed_ns),
+                steps: a.steps.saturating_add(b.steps),
+                episodes: a.episodes.saturating_add(b.episodes),
+                sim_cycles: a.sim_cycles.saturating_add(b.sim_cycles),
+            }),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Renders the stable JSON export. Field order is part of the schema;
@@ -335,7 +393,11 @@ impl FleetStats {
                 t.checkpoint_cycles
             );
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(h) = self.host {
+            let _ = write!(out, ",\"host\":{}", h.to_json());
+        }
+        out.push('}');
         out
     }
 }
@@ -603,6 +665,7 @@ impl FabricManager {
         tracer: &mut dyn Tracer,
         cycle_base: u64,
     ) -> Result<TenantProgress, FabricError> {
+        let _host = host::span("fabric.advance");
         let t = self
             .tenants
             .get_mut(id as usize)
@@ -755,6 +818,7 @@ impl FabricManager {
         first_row: usize,
         tracer: &mut dyn Tracer,
     ) -> Result<Region, FabricError> {
+        let _host = host::span("fabric.migrate");
         let idx = id as usize;
         let (old, cycles, wire_words) = {
             let t = self.tenants.get(idx).ok_or(FabricError::UnknownTenant(id))?;
@@ -937,6 +1001,7 @@ impl FabricManager {
             slice_cycles: histogram("fabric.slice_cycles"),
             migration_cycles: histogram("fabric.migration_cycles"),
             tenants,
+            host: None,
         }
     }
 }
@@ -1009,6 +1074,16 @@ pub struct FleetDriver<'a> {
     quantum: u64,
     migrate_every: u64,
     remaining: usize,
+    /// Wall-clock accounting for [`step`](Self::step), when a clock was
+    /// attached via [`set_host_clock`](Self::set_host_clock).
+    host: Option<HostTiming>,
+}
+
+/// Clock + accumulators behind [`FleetDriver::set_host_clock`].
+struct HostTiming {
+    clock: Box<dyn HostClock>,
+    elapsed_ns: u64,
+    steps: u64,
 }
 
 impl<'a> FleetDriver<'a> {
@@ -1091,6 +1166,7 @@ impl<'a> FleetDriver<'a> {
             quantum,
             migrate_every,
             remaining,
+            host: None,
         };
         driver.sync_region_spans(tracer);
         driver
@@ -1126,12 +1202,33 @@ impl<'a> FleetDriver<'a> {
         }
     }
 
+    /// Attaches a wall clock: every subsequent [`step`](Self::step) is
+    /// timed, and [`fleet_stats`](Self::fleet_stats) exports carry a
+    /// [`HostStats`] section with the derived throughput gauges.
+    pub fn set_host_clock(&mut self, clock: Box<dyn HostClock>) {
+        self.host = Some(HostTiming { clock, elapsed_ns: 0, steps: 0 });
+    }
+
+    fn host_stats(&self, sim_cycles: u64) -> Option<HostStats> {
+        self.host.as_ref().map(|h| HostStats {
+            elapsed_ns: h.elapsed_ns,
+            steps: h.steps,
+            episodes: self
+                .outcomes
+                .iter()
+                .filter(|o| matches!(o, Some(Ok(_))))
+                .count() as u64,
+            sim_cycles,
+        })
+    }
+
     /// Runs one full round-robin pass over the unsettled jobs. Returns
     /// `true` while at least one job is still live (keep stepping).
     pub fn step(&mut self, tracer: &mut dyn Tracer) -> bool {
         if self.remaining == 0 {
             return false;
         }
+        let step_started = self.host.as_mut().map(|h| h.clock.now_ns());
         let mut advanced_any = false;
         for i in 0..self.slots.len() {
             if self.outcomes[i].is_some() {
@@ -1212,6 +1309,10 @@ impl<'a> FleetDriver<'a> {
                 }
             }
         }
+        if let (Some(h), Some(t0)) = (self.host.as_mut(), step_started) {
+            h.elapsed_ns = h.elapsed_ns.saturating_add(h.clock.now_ns().saturating_sub(t0));
+            h.steps = h.steps.saturating_add(1);
+        }
         self.remaining > 0
     }
 
@@ -1235,10 +1336,13 @@ impl<'a> FleetDriver<'a> {
         &self.manager
     }
 
-    /// Point-in-time fleet stats (see [`FabricManager::fleet_stats`]).
+    /// Point-in-time fleet stats (see [`FabricManager::fleet_stats`]),
+    /// with the host throughput section attached when a clock is.
     #[must_use]
     pub fn fleet_stats(&self) -> FleetStats {
-        self.manager.fleet_stats()
+        let mut stats = self.manager.fleet_stats();
+        stats.host = self.host_stats(stats.elapsed_cycles);
+        stats
     }
 
     /// Consumes the driver and assembles the [`FleetRun`]: outcomes in
@@ -1251,7 +1355,13 @@ impl<'a> FleetDriver<'a> {
             .into_iter()
             .map(|o| o.unwrap_or(Err(MesaError::NoLoopDetected)))
             .collect();
-        let stats = self.manager.fleet_stats();
+        let mut stats = self.manager.fleet_stats();
+        stats.host = self.host.as_ref().map(|h| HostStats {
+            elapsed_ns: h.elapsed_ns,
+            steps: h.steps,
+            episodes: outcomes.iter().filter(|o| o.is_ok()).count() as u64,
+            sim_cycles: stats.elapsed_cycles,
+        });
         let flight = self.manager.flight_recorder().clone();
         let mut reason: Option<String> = None;
         for (i, outcome) in outcomes.iter().enumerate() {

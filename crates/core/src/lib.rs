@@ -72,7 +72,8 @@ pub use controller::{
 pub use detect::{check_region, estimate_trip_count, DetectConfig, DetectedRegion, RejectReason};
 pub use fabric::{
     run_tenants, run_tenants_fleet, run_tenants_traced, Admission, FabricError, FabricManager,
-    FleetDriver, FleetRun, FleetStats, TenantId, TenantJob, TenantProgress, TenantStats,
+    FleetDriver, FleetRun, FleetStats, HostStats, TenantId, TenantJob, TenantProgress,
+    TenantStats,
 };
 pub use dfg::{BuildError, Ldfg, LdfgNode};
 pub use imap::{config_latency, reconfig_latency, trace_map_stages, ConfigLatency, ImapTiming};

@@ -13,15 +13,21 @@
 use mesa_accel::{AccelConfig, Coord, FaultPlan, SpatialAccelerator};
 use mesa_core::{
     analyze_memopts, build_accel_program, map_instructions, FabricManager, Ldfg, MapperConfig,
-    OptFlags, TenantProgress,
+    OptFlags, SystemConfig, TenantProgress,
 };
 use mesa_cpu::{CoreConfig, NullMonitor, OoOCore, RunLimits};
 use mesa_isa::{codec, OpClass};
 use mesa_mem::{MemConfig, MemorySystem};
 use mesa_test::BenchSuite;
-use mesa_trace::NullTracer;
+use mesa_trace::{host, NullTracer};
 use mesa_workloads::{by_name, KernelSize};
 use std::hint::black_box;
+
+/// Counting allocator, switched on for the whole suite so the
+/// `host/*_off` vs `host/*_profiled` pair isolates the span profiler's
+/// overhead (both sides pay the same allocation-accounting cost).
+#[global_allocator]
+static ALLOC: mesa_trace::CountingAlloc = mesa_trace::CountingAlloc;
 
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_components.json");
 
@@ -99,13 +105,14 @@ fn nn_engine_setup() -> (mesa_workloads::Kernel, SpatialAccelerator, mesa_accel:
 
 fn bench_engine(suite: &mut BenchSuite) {
     let (kernel, sa, prog) = nn_engine_setup();
-    suite.run("engine/nn_512_iterations_on_m128", 20, || {
+    suite.run_cycles("engine/nn_512_iterations_on_m128", 20, || {
         let mut mem = MemorySystem::new(MemConfig::default(), 1);
         kernel.populate(mem.data_mut());
         black_box(
             sa.execute(&prog, &kernel.entry, &mut mem, 0, 1_000_000)
                 .expect("runs"),
         )
+        .cycles
     });
 }
 
@@ -114,13 +121,14 @@ fn bench_engine(suite: &mut BenchSuite) {
 /// above, so the disabled-tracing fast path stays free.
 fn bench_engine_null_tracer(suite: &mut BenchSuite) {
     let (kernel, sa, prog) = nn_engine_setup();
-    suite.run("tracer/null_engine_nn_on_m128", 20, || {
+    suite.run_cycles("tracer/null_engine_nn_on_m128", 20, || {
         let mut mem = MemorySystem::new(MemConfig::default(), 1);
         kernel.populate(mem.data_mut());
         black_box(
             sa.execute_traced(&prog, &kernel.entry, &mut mem, 0, 1_000_000, &mut NullTracer, 0)
                 .expect("runs"),
         )
+        .cycles
     });
 }
 
@@ -133,18 +141,21 @@ fn bench_engine_null_tracer(suite: &mut BenchSuite) {
 fn bench_fabric(suite: &mut BenchSuite) {
     let (kernel, _sa, prog) = nn_engine_setup();
     let cfg = AccelConfig::m128();
-    suite.run("fabric/nn_single_tenant_session_on_m128", 20, || {
+    suite.run_cycles("fabric/nn_single_tenant_session_on_m128", 20, || {
         let mut mem = MemorySystem::new(MemConfig::default(), 1);
         kernel.populate(mem.data_mut());
         let mut manager = FabricManager::new(cfg);
         let (id, _) = manager
             .admit(prog.clone(), kernel.entry.clone(), FaultPlan::none(), 1_000_000)
             .expect("admits");
-        black_box(
+        match black_box(
             manager
                 .advance(id, &mut mem, 0, u64::MAX, &mut NullTracer, 0)
                 .expect("runs"),
-        )
+        ) {
+            TenantProgress::Paused(cycles) | TenantProgress::Completed(cycles) => cycles,
+            TenantProgress::Queued => 0,
+        }
     });
 
     // Checkpoint + restore round trip of a tenant frozen mid-episode: the
@@ -168,7 +179,7 @@ fn bench_fabric(suite: &mut BenchSuite) {
 
 fn bench_ooo_core(suite: &mut BenchSuite) {
     let kernel = by_name("pathfinder", KernelSize::Tiny).expect("pathfinder");
-    suite.run("ooo_core/pathfinder_tiny_to_halt", 20, || {
+    suite.run_cycles("ooo_core/pathfinder_tiny_to_halt", 20, || {
         let mut mem = MemorySystem::new(MemConfig::default(), 1);
         kernel.populate(mem.data_mut());
         let mut state = kernel.entry.clone();
@@ -181,10 +192,32 @@ fn bench_ooo_core(suite: &mut BenchSuite) {
             RunLimits::none(),
             &mut NullMonitor,
         ))
+        .cycles
     });
 }
 
+/// The same full offload episode with the host span profiler off and
+/// then on (real clock, per-span allocation deltas included): the
+/// `host/*_profiled` vs `host/*_off` ratio is gated at ≤ 1.05 by
+/// `scripts/ci.sh` and `scripts/bench_diff.sh`. Measuring both sides in
+/// one process run cancels machine-speed noise out of the ratio.
+fn bench_host_profiler(suite: &mut BenchSuite) {
+    let kernel = by_name("nn", KernelSize::Tiny).expect("nn");
+    let system = SystemConfig::m128();
+    suite.run_cycles("host/offload_nn_on_m128_off", 20, || {
+        mesa_bench::mesa_offload(&kernel, &system, mesa_bench::BASELINE_CORES).cycles
+    });
+    host::enable(host::ClockSpec::Real);
+    host::install();
+    suite.run_cycles("host/offload_nn_on_m128_profiled", 20, || {
+        mesa_bench::mesa_offload(&kernel, &system, mesa_bench::BASELINE_CORES).cycles
+    });
+    let _ = host::take();
+    host::disable();
+}
+
 fn main() {
+    mesa_trace::alloc::set_counting(true);
     let mut suite = BenchSuite::new();
     bench_codec(&mut suite);
     bench_ldfg_build(&mut suite);
@@ -193,6 +226,7 @@ fn main() {
     bench_engine_null_tracer(&mut suite);
     bench_fabric(&mut suite);
     bench_ooo_core(&mut suite);
+    bench_host_profiler(&mut suite);
     let out = std::env::var("MESA_BENCH_OUT").ok().filter(|p| !p.is_empty());
     let out = out.as_deref().unwrap_or(OUT_PATH);
     suite.write_json(out).expect("writes the bench suite JSON");

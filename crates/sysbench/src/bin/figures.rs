@@ -21,15 +21,35 @@
 //! bottleneck-attribution report (top-down cycle accounting, per-PE
 //! heatmap, measured critical path, re-optimization rounds) as JSON to
 //! `<path>`, printing the human summary on stdout.
+//!
+//! Passing `--host-profile[=<path>]` (or `MESA_HOST_PROFILE=<path>`)
+//! additionally profiles the *host* side of the run: wall-clock span
+//! tree, allocation accounting, and sim-throughput gauges, written as
+//! `mesa.hostprofile/v1` JSON to `<path>` (default `mesa_host.json`)
+//! plus a flamegraph-ready folded-stack file at `<path>.folded`.
+//! `--host-clock mock[:STEP_NS]` (or `MESA_HOST_CLOCK`) swaps the real
+//! clock for a deterministic mock, making both exports byte-identical
+//! at any `--jobs N`. A one-line wall-clock summary (elapsed,
+//! episodes/sec, peak allocation) always goes to **stderr**, so stdout
+//! stays byte-comparable across worker counts.
 
 use mesa_bench as bench;
 use mesa_core::SystemConfig;
+use mesa_trace::host::{self, HostClock};
 use mesa_trace::{MetricsRegistry, RingTracer};
 use mesa_workloads::{by_name, KernelSize};
+
+/// Pass-through to the system allocator until counting is switched on
+/// at the top of `main`; from then on it feeds the peak-allocation
+/// figure in the stderr summary and (real-clock runs) per-span deltas.
+#[global_allocator]
+static ALLOC: mesa_trace::CountingAlloc = mesa_trace::CountingAlloc;
 
 fn main() {
     let mut trace_path = std::env::var("MESA_TRACE").ok().filter(|p| !p.is_empty());
     let mut profile_path = std::env::var("MESA_PROFILE").ok().filter(|p| !p.is_empty());
+    let mut host_path = std::env::var("MESA_HOST_PROFILE").ok().filter(|p| !p.is_empty());
+    let mut host_clock = std::env::var("MESA_HOST_CLOCK").ok().filter(|c| !c.is_empty());
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -41,6 +61,14 @@ fn main() {
             profile_path = args.next();
         } else if let Some(p) = a.strip_prefix("--profile=") {
             profile_path = Some(p.to_string());
+        } else if a == "--host-profile" {
+            host_path.get_or_insert_with(|| "mesa_host.json".to_string());
+        } else if let Some(p) = a.strip_prefix("--host-profile=") {
+            host_path = Some(p.to_string());
+        } else if a == "--host-clock" {
+            host_clock = args.next();
+        } else if let Some(c) = a.strip_prefix("--host-clock=") {
+            host_clock = Some(c.to_string());
         } else if a == "--jobs" {
             set_jobs_arg(args.next().as_deref());
         } else if let Some(n) = a.strip_prefix("--jobs=") {
@@ -48,6 +76,14 @@ fn main() {
         } else {
             rest.push(a);
         }
+    }
+    // Wall clock + allocation counters back the always-on stderr
+    // summary; the span profiler only engages under `--host-profile`.
+    let mut wall = host::RealClock::new();
+    mesa_trace::alloc::set_counting(true);
+    if host_path.is_some() {
+        host::enable(parse_host_clock(host_clock.as_deref()));
+        host::install();
     }
     let default_what = if trace_path.is_some() || profile_path.is_some() { "capture" } else { "all" };
     let what = rest.first().map_or(default_what, String::as_str);
@@ -62,38 +98,108 @@ fn main() {
     // `trace`/`profile` only run when asked for by name or by path —
     // `all` does not silently write capture files.
     if what == "trace" || trace_path.is_some() {
+        let _s = host::span("figures.trace");
         capture_trace(trace_path.as_deref().unwrap_or("mesa_trace.json"), size);
     }
     if what == "profile" || profile_path.is_some() {
+        let _s = host::span("figures.profile");
         capture_profile(profile_path.as_deref().unwrap_or("mesa_profile.json"), size);
     }
     if run("table1") {
+        let _s = host::span("figures.table1");
         print_table1();
     }
     if run("fig11") {
+        let _s = host::span("figures.fig11");
         print_fig11(size);
     }
     if run("fig12") {
+        let _s = host::span("figures.fig12");
         print_fig12(size);
     }
     if run("fig13") {
+        let _s = host::span("figures.fig13");
         print_fig13(size);
     }
     if run("fig14") {
+        let _s = host::span("figures.fig14");
         print_fig14(size);
     }
     if run("fig15") {
+        let _s = host::span("figures.fig15");
         print_fig15(size);
     }
     if run("fig16") {
+        let _s = host::span("figures.fig16");
         print_fig16(size);
     }
     if run("table2") {
+        let _s = host::span("figures.table2");
         print_table2(size);
     }
     if run("crossover") {
+        let _s = host::span("figures.crossover");
         print_crossover(size);
     }
+
+    if let Some(path) = host_path.as_deref() {
+        write_host_profile(path);
+    }
+    let elapsed_ns = wall.now_ns();
+    let episodes = host::episodes_total();
+    let alloc = mesa_trace::alloc::stats();
+    eprintln!(
+        "host: {episodes} episodes in {:.3}s ({} eps/s), {:.1} Msim-cycles, peak alloc {:.1} MiB",
+        elapsed_ns as f64 / 1e9,
+        host::fmt_gauge(episodes as f64 * 1e9 / elapsed_ns as f64),
+        host::sim_cycles_total() as f64 / 1e6,
+        alloc.peak_bytes as f64 / (1024.0 * 1024.0),
+    );
+}
+
+/// Parses `--host-clock`: `real` (default), `mock`, or `mock:STEP_NS`.
+fn parse_host_clock(value: Option<&str>) -> host::ClockSpec {
+    match value {
+        None | Some("real") => host::ClockSpec::Real,
+        Some("mock") => host::ClockSpec::Mock { step_ns: 1_000 },
+        Some(v) => match v.strip_prefix("mock:").and_then(|s| s.trim().parse::<u64>().ok()) {
+            Some(step_ns) => host::ClockSpec::Mock { step_ns },
+            None => {
+                eprintln!("--host-clock expects real, mock, or mock:STEP_NS (got {v:?})");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Finishes the thread's host profiler, attaches the throughput
+/// gauges, and writes the `mesa.hostprofile/v1` JSON plus the
+/// folded-stack file (`<path>.folded`).
+fn write_host_profile(path: &str) {
+    let Some(mut profile) = host::take() else { return };
+    host::disable();
+    let episodes = host::episodes_total();
+    let sim_cycles = host::sim_cycles_total();
+    profile.gauges.insert("episodes".to_string(), episodes as f64);
+    profile.gauges.insert("sim_cycles".to_string(), sim_cycles as f64);
+    // Rates divide by profile wall time: deterministic under the mock
+    // clock, real throughput under the real one. Non-finite values
+    // export as JSON null via fmt_gauge.
+    let wall = profile.wall_ns as f64;
+    profile
+        .gauges
+        .insert("episodes_per_sec".to_string(), episodes as f64 * 1e9 / wall);
+    profile
+        .gauges
+        .insert("sim_mcycles_per_sec".to_string(), sim_cycles as f64 * 1e3 / wall);
+    profile
+        .gauges
+        .insert("sim_to_host_ratio".to_string(), sim_cycles as f64 / wall);
+    let folded_path = format!("{path}.folded");
+    std::fs::write(path, profile.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    std::fs::write(&folded_path, profile.to_folded())
+        .unwrap_or_else(|e| panic!("writing {folded_path}: {e}"));
+    eprintln!("host: wrote host profile to {path} and folded stacks to {folded_path}");
 }
 
 fn set_jobs_arg(value: Option<&str>) {

@@ -11,12 +11,20 @@
 //! Output is deterministic plain text by default, so frames can be
 //! captured and diffed; `--ansi` redraws in place for a live view.
 //!
+//! `--host-clock real|mock[:STEP_NS]` attaches a host clock to the
+//! fleet driver and adds one host line per frame: wall-clock
+//! episodes/sec plus the rolling sim-to-host throughput between frames.
+//! `mock` keeps the dashboard byte-deterministic; the default (`off`)
+//! leaves the classic output untouched.
+//!
 //! Usage:
 //!   mesa-top [--tenants K] [--seed S] [--migrate-every M]
 //!            [--every R] [--frames N] [--ansi]
+//!            [--host-clock real|mock[:STEP_NS]]
 
 use mesa_bench::kernelgen::tenant_jobs;
-use mesa_core::{FleetDriver, FleetStats, SystemConfig, TenantStats};
+use mesa_core::{FleetDriver, FleetStats, HostStats, SystemConfig, TenantStats};
+use mesa_trace::host::{fmt_gauge, MockClock, RealClock};
 use mesa_trace::NullTracer;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -24,7 +32,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mesa-top [--tenants K] [--seed S] [--migrate-every M] \
-         [--every R] [--frames N] [--ansi]"
+         [--every R] [--frames N] [--ansi] [--host-clock real|mock[:STEP_NS]]"
     );
     ExitCode::from(2)
 }
@@ -73,6 +81,27 @@ fn tenant_row(t: &TenantStats, name: &str) -> String {
         t.migrations,
         t.queue_wait_cycles,
         t.checkpoint_cycles
+    )
+}
+
+/// One compact host-telemetry line: total wall-clock episode rate plus
+/// the rolling sim-to-host throughput since the previous frame. Kept on
+/// a single short line so `--ansi` redraws stay stable at narrow
+/// terminal widths.
+fn host_line(h: &HostStats, prev: Option<&HostStats>) -> String {
+    let (d_cycles, d_ns) = match prev {
+        Some(p) => (
+            h.sim_cycles.saturating_sub(p.sim_cycles),
+            h.elapsed_ns.saturating_sub(p.elapsed_ns),
+        ),
+        None => (h.sim_cycles, h.elapsed_ns),
+    };
+    format!(
+        "host: {:.1}ms {} eps/s {} Mcyc/s (rolling {})",
+        h.elapsed_ns as f64 / 1e6,
+        fmt_gauge(h.episodes_per_sec().unwrap_or(f64::NAN)),
+        fmt_gauge(h.sim_mcycles_per_sec().unwrap_or(f64::NAN)),
+        fmt_gauge(d_cycles as f64 * 1e3 / d_ns as f64),
     )
 }
 
@@ -128,6 +157,7 @@ fn main() -> ExitCode {
     let mut every = 1u64;
     let mut frames = u64::MAX;
     let mut ansi = false;
+    let mut host_clock: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -159,6 +189,11 @@ fn main() -> ExitCode {
                 frames = v;
             }
             "--ansi" => ansi = true,
+            "--host-clock" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                host_clock = Some(v.clone());
+            }
             _ => return usage(),
         }
         i += 1;
@@ -174,6 +209,15 @@ fn main() -> ExitCode {
     let mut tracer = NullTracer;
     let mut driver =
         FleetDriver::new(&system, &mut jobs, quantum, migrate_every, &mut tracer);
+    match host_clock.as_deref() {
+        None | Some("off") => {}
+        Some("real") => driver.set_host_clock(Box::new(RealClock::new())),
+        Some("mock") => driver.set_host_clock(Box::new(MockClock::new(1_000_000))),
+        Some(v) => match v.strip_prefix("mock:").and_then(|s| s.trim().parse::<u64>().ok()) {
+            Some(step_ns) => driver.set_host_clock(Box::new(MockClock::new(step_ns))),
+            None => return usage(),
+        },
+    }
     // Tenant ids skip over prepare-stage declines; index names by tenant.
     let names: Vec<Option<&str>> = (0..job_names.len())
         .map(|id| driver.job_of_tenant(id as u32).map(|j| job_names[j]))
@@ -182,9 +226,14 @@ fn main() -> ExitCode {
     let mut frame = 0u64;
     let mut round = 0u64;
     let mut last_elapsed = 0u64;
+    let mut last_host: Option<HostStats> = None;
     loop {
         let stats = driver.fleet_stats();
         render_frame(frame, round, &stats, &names, last_elapsed, driver.remaining(), ansi);
+        if let Some(h) = &stats.host {
+            println!("{}", host_line(h, last_host.as_ref()));
+            last_host = Some(*h);
+        }
         last_elapsed = stats.elapsed_cycles;
         frame += 1;
         if frame >= frames || driver.remaining() == 0 {

@@ -32,7 +32,13 @@ use mesa_bench::kernelgen::{
 };
 use mesa_core::FleetStats;
 use mesa_test::splitmix64;
+use mesa_trace::host::{self, HostClock};
 use std::process::ExitCode;
+
+/// Counting allocator: feeds the peak-allocation figure in the
+/// end-of-run wall-clock summary on stderr.
+#[global_allocator]
+static ALLOC: mesa_trace::CountingAlloc = mesa_trace::CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -116,6 +122,8 @@ fn episode(
 }
 
 fn main() -> ExitCode {
+    let mut wall = host::RealClock::new();
+    mesa_trace::alloc::set_counting(true);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iters = 1u64;
     let mut base_seed = 1u64;
@@ -222,5 +230,15 @@ fn main() -> ExitCode {
             }
         }
     }
+    // One-line wall-clock summary on stderr: host elapsed, episode
+    // throughput, and the allocator's high-water mark (an RSS proxy).
+    let elapsed_ns = wall.now_ns();
+    eprintln!(
+        "host: {episodes} episode(s) in {:.3}s ({} eps/s), {:.1} Msim-cycles, peak alloc {:.1} MiB",
+        elapsed_ns as f64 / 1e9,
+        host::fmt_gauge(episodes as f64 * 1e9 / elapsed_ns as f64),
+        host::sim_cycles_total() as f64 / 1e6,
+        mesa_trace::alloc::stats().peak_bytes as f64 / (1024.0 * 1024.0),
+    );
     if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE }
 }

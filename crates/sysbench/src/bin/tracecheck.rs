@@ -39,6 +39,15 @@
 //! * `tracecheck postmortem <dump.json>` — validates a flight-recorder
 //!   post-mortem (`"schema":"mesa.flight/v1"`): full JSON syntax check, a
 //!   non-empty reason, and at least one recorded event.
+//! * `tracecheck hostprofile <host.json> [stacks.folded]` — validates a
+//!   `"schema":"mesa.hostprofile/v1"` export (from `figures
+//!   --host-profile`): full JSON syntax + finiteness check, **exact**
+//!   wall-time conservation at every level of the span tree
+//!   (`self_ns + Σ children.total_ns == total_ns`, roots sum to the
+//!   profile total), `dur.count == calls` per span, and allocator-counter
+//!   sanity (`peak ≥ current`, `total ≥ current`). With the optional
+//!   folded-stack file: every line must match a span's `self_ns` and the
+//!   lines must sum exactly to the profile total.
 
 use mesa_trace::{validate_chrome_trace, validate_json};
 use std::process::ExitCode;
@@ -52,13 +61,15 @@ fn main() -> ExitCode {
         Some("profile") => check_profile(args.get(1).map_or("", String::as_str)),
         Some("fleetstats") => check_fleetstats(args.get(1).map_or("", String::as_str)),
         Some("postmortem") => check_postmortem(args.get(1).map_or("", String::as_str)),
+        Some("hostprofile") => check_hostprofile(&args[1..]),
         _ => Err(
             "usage: tracecheck chrome <trace.json>\n\
              \x20      tracecheck benchgate <bench.json> <name_a> <name_b> <max_ratio>\n\
              \x20      tracecheck benchdiff <new.json> <baseline.json> <max_ratio> [name...]\n\
              \x20      tracecheck profile <report.json>\n\
              \x20      tracecheck fleetstats <stats.json>\n\
-             \x20      tracecheck postmortem <dump.json>"
+             \x20      tracecheck postmortem <dump.json>\n\
+             \x20      tracecheck hostprofile <host.json> [stacks.folded]"
                 .to_string(),
         ),
     };
@@ -153,7 +164,16 @@ fn check_benchdiff(args: &[String]) -> Result<String, String> {
         let new = median_ns(&new_text, name)
             .ok_or_else(|| format!("{new_path}: no entry {name:?} (benchmark removed?)"))?;
         let ratio = new / base.max(f64::MIN_POSITIVE);
-        lines.push(format!("  {name}: {base:.1} -> {new:.1} ns ({ratio:.3}x)"));
+        // Sim throughput is informational: cycle-reporting benches carry
+        // it, plain ones don't, and old baselines may predate the field.
+        let sim = match (
+            bench_field_f64(&base_text, name, "sim_mcycles_per_sec"),
+            bench_field_f64(&new_text, name, "sim_mcycles_per_sec"),
+        ) {
+            (Some(b), Some(n)) => format!(" [sim {b:.1} -> {n:.1} Mcyc/s]"),
+            _ => String::new(),
+        };
+        lines.push(format!("  {name}: {base:.1} -> {new:.1} ns ({ratio:.3}x){sim}"));
         if ratio > max_ratio {
             regressions.push(format!(
                 "{name}: {base:.1} -> {new:.1} ns ({ratio:.3}x > {max_ratio}x)"
@@ -290,6 +310,157 @@ fn check_fleetstats(path: &str) -> Result<String, String> {
     ))
 }
 
+/// One span row extracted from a hostprofile export.
+struct HostSpanRec {
+    path: String,
+    total_ns: u64,
+    self_ns: u64,
+    busy_ns: u64,
+    calls: u64,
+    dur_count: u64,
+}
+
+fn check_hostprofile(args: &[String]) -> Result<String, String> {
+    let Some(path) = args.first() else {
+        return Err("hostprofile: expected <host.json> [stacks.folded]".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    check_finite(path, &text)?;
+    validate_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let compact: String = text.split_whitespace().collect();
+    if !compact.contains("\"schema\":\"mesa.hostprofile/v1\"") {
+        return Err(format!("{path}: missing \"schema\":\"mesa.hostprofile/v1\" marker"));
+    }
+
+    // The first `total_ns` occurrence is the profile-level total (it
+    // precedes the spans array in the schema's field order).
+    let total = field_u64(&compact, "total_ns")
+        .ok_or_else(|| format!("{path}: no field \"total_ns\""))?;
+
+    // Allocator-counter sanity on the top-level `alloc` object.
+    let alloc_pos = compact
+        .find("\"alloc\":{")
+        .ok_or_else(|| format!("{path}: no \"alloc\" object"))?;
+    let alloc_sub = &compact[alloc_pos..];
+    let afield = |key: &str| -> Result<u64, String> {
+        field_u64(alloc_sub, key)
+            .ok_or_else(|| format!("{path}: alloc object has no field {key:?}"))
+    };
+    let (a_total, a_current, a_peak) =
+        (afield("total_bytes")?, afield("current_bytes")?, afield("peak_bytes")?);
+    if a_peak < a_current || a_total < a_current {
+        return Err(format!(
+            "{path}: inconsistent allocator counters: total_bytes={a_total} \
+             current_bytes={a_current} peak_bytes={a_peak}"
+        ));
+    }
+
+    // Spans: each element of the array begins with `{"path":"`, so
+    // splitting on that marker yields one chunk per span whose fields
+    // are first occurrences within the chunk.
+    let mut spans: Vec<HostSpanRec> = Vec::new();
+    for chunk in compact.split("{\"path\":\"").skip(1) {
+        let (span_path, rest) = chunk
+            .split_once('"')
+            .ok_or_else(|| format!("{path}: unterminated span path"))?;
+        let sfield = |key: &str| -> Result<u64, String> {
+            field_u64(rest, key)
+                .ok_or_else(|| format!("{path}: span {span_path:?} has no field {key:?}"))
+        };
+        spans.push(HostSpanRec {
+            path: span_path.to_string(),
+            total_ns: sfield("total_ns")?,
+            self_ns: sfield("self_ns")?,
+            busy_ns: sfield("busy_ns")?,
+            calls: sfield("calls")?,
+            // `dur` is the only sub-object in a span, so the chunk's
+            // first `count` is the histogram's sample count.
+            dur_count: sfield("count")?,
+        });
+    }
+
+    // Exact conservation at every level: a span's children are exactly
+    // the spans whose path extends it by one `;`-separated segment.
+    let mut children_sum: std::collections::BTreeMap<&str, u64> =
+        std::collections::BTreeMap::new();
+    let mut roots_sum = 0u64;
+    for s in &spans {
+        match s.path.rsplit_once(';') {
+            Some((parent, _)) => {
+                *children_sum.entry(parent).or_insert(0) += s.total_ns;
+            }
+            None => roots_sum += s.total_ns,
+        }
+    }
+    for s in &spans {
+        let kids = children_sum.get(s.path.as_str()).copied().unwrap_or(0);
+        if s.self_ns + kids != s.total_ns {
+            return Err(format!(
+                "{path}: span {:?} not conserved: self_ns={} + Σ children={} != total_ns={}",
+                s.path, s.self_ns, kids, s.total_ns
+            ));
+        }
+        if s.busy_ns > s.total_ns {
+            return Err(format!(
+                "{path}: span {:?} has busy_ns={} > total_ns={}",
+                s.path, s.busy_ns, s.total_ns
+            ));
+        }
+        if s.dur_count != s.calls {
+            return Err(format!(
+                "{path}: span {:?} histogram has {} sample(s) but calls={}",
+                s.path, s.dur_count, s.calls
+            ));
+        }
+    }
+    if roots_sum != total {
+        return Err(format!(
+            "{path}: root spans sum to {roots_sum}, expected total_ns = {total}"
+        ));
+    }
+
+    // Optional folded-stack file: every line matches a span's self time
+    // and the lines tile the profile total exactly.
+    let mut folded_note = String::new();
+    if let Some(fpath) = args.get(1) {
+        let ftext =
+            std::fs::read_to_string(fpath).map_err(|e| format!("reading {fpath}: {e}"))?;
+        let mut folded_sum = 0u64;
+        let mut folded_lines = 0usize;
+        for line in ftext.lines().filter(|l| !l.trim().is_empty()) {
+            let (fp, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("{fpath}: malformed folded line {line:?}"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|e| format!("{fpath}: bad count in folded line {line:?}: {e}"))?;
+            let span = spans
+                .iter()
+                .find(|s| s.path == fp)
+                .ok_or_else(|| format!("{fpath}: folded path {fp:?} not in {path}"))?;
+            if span.self_ns != value {
+                return Err(format!(
+                    "{fpath}: folded {fp:?} = {value} but the profile says self_ns = {}",
+                    span.self_ns
+                ));
+            }
+            folded_sum += value;
+            folded_lines += 1;
+        }
+        if folded_sum != total {
+            return Err(format!(
+                "{fpath}: folded stacks sum to {folded_sum}, expected total_ns = {total}"
+            ));
+        }
+        folded_note = format!(", {folded_lines} folded line(s) tile the total");
+    }
+    Ok(format!(
+        "{path}: valid host profile — {} span(s), {total} ns conserved at \
+         every level{folded_note}",
+        spans.len()
+    ))
+}
+
 fn check_postmortem(path: &str) -> Result<String, String> {
     if path.is_empty() {
         return Err("postmortem: missing <dump.json> path".into());
@@ -368,13 +539,20 @@ fn bench_names(text: &str) -> Vec<String> {
 /// the in-repo `mesa-test` BenchSuite writes (one object per line with
 /// `"name"` and `"median_ns"` fields).
 fn median_ns(text: &str, name: &str) -> Option<f64> {
+    bench_field_f64(text, name, "median_ns")
+}
+
+/// Extracts any numeric field from the named benchmark's JSON line
+/// (`None` when the benchmark or the field is absent).
+fn bench_field_f64(text: &str, name: &str, key: &str) -> Option<f64> {
     let needle = format!("\"name\":\"{name}\"");
+    let field = format!("\"{key}\":");
     for line in text.lines() {
         let compact: String = line.split_whitespace().collect();
         if !compact.contains(&needle) {
             continue;
         }
-        let (_, rest) = compact.split_once("\"median_ns\":")?;
+        let (_, rest) = compact.split_once(field.as_str())?;
         let num: String = rest
             .chars()
             .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
@@ -429,5 +607,14 @@ mod tests {
         assert_eq!(median_ns(text, "a/b"), Some(125.5));
         assert_eq!(median_ns(text, "c"), Some(3.0));
         assert_eq!(median_ns(text, "missing"), None);
+    }
+
+    #[test]
+    fn bench_field_extraction_reads_optional_fields() {
+        let text = "{\"name\":\"a\",\"median_ns\":10.0,\"sim_mcycles_per_sec\":123.456}\n\
+                    {\"name\":\"b\",\"median_ns\":20.0}\n";
+        assert_eq!(bench_field_f64(text, "a", "sim_mcycles_per_sec"), Some(123.456));
+        assert_eq!(bench_field_f64(text, "b", "sim_mcycles_per_sec"), None);
+        assert_eq!(bench_field_f64(text, "b", "median_ns"), Some(20.0));
     }
 }

@@ -10,6 +10,7 @@ use mesa_cpu::{CoreConfig, Multicore, NullMonitor, OoOCore, RunLimits};
 use mesa_mem::{MemConfig, MemTraffic, MemorySystem};
 use mesa_power::MemActivity;
 use mesa_profile::ProfileReport;
+use mesa_trace::host;
 use mesa_trace::{NullTracer, Subsystem, Tracer};
 use mesa_workloads::Kernel;
 
@@ -78,6 +79,7 @@ fn mem_activity(mem: &MemorySystem) -> MemActivity {
 /// Runs the kernel to completion on one out-of-order core.
 #[must_use]
 pub fn cpu_single(kernel: &Kernel, core: CoreConfig) -> BaselineRun {
+    let _host = host::span("baseline.cpu_single");
     let mut mem = MemorySystem::new(MemConfig::default(), 1);
     kernel.populate(mem.data_mut());
     let mut state = kernel.entry.clone();
@@ -101,6 +103,7 @@ pub const FORK_JOIN_CYCLES: u64 = 1200;
 /// chunking (serial kernels run on core 0 alone).
 #[must_use]
 pub fn cpu_multicore(kernel: &Kernel, n: usize) -> BaselineRun {
+    let _host = host::span("baseline.cpu_multicore");
     let mut mc = Multicore::new(CoreConfig::boom_baseline(), MemConfig::default(), n);
     kernel.populate(mc.mem_mut().data_mut());
     let r = mc.run_parallel(
@@ -200,6 +203,9 @@ fn episode(
     want_profile: bool,
     plan: Option<&FaultPlan>,
 ) -> (MesaRun, Option<ProfileReport>) {
+    // Host-side episode span: the controller opens its per-phase
+    // children (detect/translate/map/configure/offload) beneath it.
+    let host_episode = host::span("episode");
     let mut mem = MemorySystem::new(system.mem, 2);
     kernel.populate(mem.data_mut());
     let mut state = kernel.entry.clone();
@@ -258,6 +264,10 @@ fn episode(
         }
     };
     tracer.span_end(Subsystem::Harness, "harness.mesa_offload", run.cycles);
+    drop(host_episode);
+    // Process-global throughput counters behind the figures/soak
+    // wall-clock summary lines (always on; two relaxed atomic adds).
+    host::record_episode(run.cycles);
     (run, profile)
 }
 

@@ -11,7 +11,15 @@
 //! 1. an explicit [`set_jobs`] call (the `--jobs N` flag),
 //! 2. the `MESA_JOBS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! When host profiling is enabled ([`mesa_trace::host::enabled`]),
+//! every work item runs under its own scoped profiler
+//! ([`mesa_trace::host::scoped`]) — on the sequential path too, so the
+//! tree shape is identical — and the per-item profiles merge back into
+//! the caller's profiler **in input order**, keeping the aggregated
+//! host profile byte-identical at any `--jobs N` under the mock clock.
 
+use mesa_trace::host;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -60,12 +68,27 @@ where
     let n = items.len();
     let workers = jobs().min(n);
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        // Sequential path: still run each item under a scoped profiler
+        // so the host-profile tree has the same shape as the parallel
+        // path (host::scoped is a passthrough when profiling is off).
+        return items
+            .into_iter()
+            .map(|item| {
+                let (r, prof) = host::scoped(|| f(item));
+                if let Some(p) = prof {
+                    host::adopt(&p);
+                }
+                r
+            })
+            .collect();
     }
 
+    /// A worker's result plus the host profile its scoped profiler
+    /// collected (None when host profiling is off).
+    type ResultSlot<R> = Mutex<Option<(R, Option<host::HostProfile>)>>;
     let slots: Vec<Mutex<Option<T>>> =
         items.into_iter().map(|item| Mutex::new(Some(item))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<ResultSlot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -80,7 +103,7 @@ where
                     .expect("pool item lock")
                     .take()
                     .expect("each slot is claimed exactly once");
-                let r = f(item);
+                let r = host::scoped(|| f(item));
                 *results[i].lock().expect("pool result lock") = Some(r);
             });
         }
@@ -89,9 +112,16 @@ where
     results
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
+            let (r, prof) = slot
+                .into_inner()
                 .expect("pool result lock")
-                .expect("every slot was filled")
+                .expect("every slot was filled");
+            // Merging in input order (this iteration) makes the
+            // aggregate independent of which worker ran what.
+            if let Some(p) = prof {
+                host::adopt(&p);
+            }
+            r
         })
         .collect()
 }
@@ -132,6 +162,31 @@ mod tests {
         let one = par_map(vec![7u32], |x| x + 1);
         set_jobs(0);
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn host_profile_merge_is_jobs_invariant() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let run = |jobs_n: usize| {
+            host::enable(host::ClockSpec::Mock { step_ns: 100 });
+            host::install();
+            set_jobs(jobs_n);
+            let out = par_map((0..8u64).collect(), |x| {
+                let _s = host::span("item");
+                host::sim_cycles(x + 1);
+                x
+            });
+            set_jobs(0);
+            let profile = host::take().expect("profiler installed");
+            host::disable();
+            assert_eq!(out.len(), 8);
+            profile.to_json()
+        };
+        // The mock clock + input-order adoption make the export a pure
+        // function of the work, not of the worker count.
+        let solo = run(1);
+        assert_eq!(solo, run(4));
+        assert!(solo.contains("\"path\":\"item\""));
     }
 
     #[test]

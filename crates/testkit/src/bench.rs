@@ -2,9 +2,17 @@
 //! line output. A deliberate, tiny replacement for `criterion` — enough
 //! to track the simulator's own performance trajectory across PRs
 //! without any external dependency.
+//!
+//! Timing goes through `mesa-trace`'s [`HostClock`] abstraction (the
+//! workspace's single sanctioned wall-clock seam): [`bench_fn`] uses the
+//! real clock, while [`bench_fn_with`] accepts any clock — the unit
+//! tests drive a deterministic [`mesa_trace::MockClock`]. Benches whose
+//! workload reports simulated cycles can use [`BenchSuite::run_cycles`]
+//! to record sim-cycles/iteration and the derived simulation throughput
+//! (`sim_mcycles_per_sec`) alongside ns/iter in `BENCH_components.json`.
 
+use mesa_trace::host::{HostClock, RealClock};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// One benchmark measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,44 +31,77 @@ pub struct BenchResult {
     pub max_ns: f64,
     /// Mean per-iteration time over the batches, in nanoseconds.
     pub mean_ns: f64,
+    /// Simulated cycles advanced per iteration, when the workload
+    /// reports them (see [`BenchSuite::run_cycles`]).
+    pub sim_cycles_per_iter: Option<f64>,
 }
 
 impl BenchResult {
-    /// Renders the result as one JSON object on a single line.
+    /// Simulation throughput in millions of simulated cycles per host
+    /// second, derived from the median timing (`None` when the
+    /// workload reported no cycles or the measurement was too fast to
+    /// time).
+    #[must_use]
+    pub fn sim_mcycles_per_sec(&self) -> Option<f64> {
+        let cycles = self.sim_cycles_per_iter?;
+        if cycles > 0.0 && self.median_ns > 0.0 {
+            // cycles/ns × 1e9 → cycles/s; ÷ 1e6 → Mcycles/s.
+            Some(cycles * 1e3 / self.median_ns)
+        } else {
+            None
+        }
+    }
+
+    /// Renders the result as one JSON object on a single line. The sim
+    /// throughput fields only appear for cycle-reporting benches, so
+    /// existing consumers that scan `median_ns` are unaffected.
     #[must_use]
     pub fn json_line(&self) -> String {
-        format!(
-            "{{\"name\":\"{}\",\"iters\":{},\"samples\":{},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"mean_ns\":{:.1}}}",
+        let mut out = format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"samples\":{},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"mean_ns\":{:.1}",
             self.name, self.iters, self.samples, self.median_ns, self.min_ns, self.max_ns, self.mean_ns
-        )
+        );
+        if let Some(cycles) = self.sim_cycles_per_iter {
+            let _ = write!(out, ",\"sim_cycles_per_iter\":{cycles:.1}");
+            if let Some(rate) = self.sim_mcycles_per_sec() {
+                let _ = write!(out, ",\"sim_mcycles_per_sec\":{rate:.3}");
+            }
+        }
+        out.push('}');
+        out
     }
 }
 
 /// Number of timed batches per benchmark.
 const SAMPLES: usize = 7;
 
-/// Times `f` over `iters` iterations per batch: one untimed warmup
-/// batch, then [`SAMPLES`] timed batches, reporting the median (robust
-/// against scheduler noise), min, max, and mean per-iteration time.
-///
-/// The closure's return value is passed through [`std::hint::black_box`]
-/// so the work is not optimized away.
-///
-/// # Panics
-/// Panics if `iters` is zero.
-pub fn bench_fn<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) -> BenchResult {
-    assert!(iters > 0, "bench_fn needs at least one iteration");
-    let run_batch = |f: &mut dyn FnMut() -> T| {
-        let start = Instant::now();
+fn bench_inner(
+    name: &str,
+    iters: u64,
+    clock: &mut dyn HostClock,
+    f: &mut dyn FnMut() -> u64,
+    track_cycles: bool,
+) -> BenchResult {
+    assert!(iters > 0, "bench needs at least one iteration");
+    let run_batch = |f: &mut dyn FnMut() -> u64, clock: &mut dyn HostClock| {
+        let start = clock.now_ns();
+        let mut cycles = 0u64;
         for _ in 0..iters {
-            std::hint::black_box(f());
+            cycles = cycles.saturating_add(std::hint::black_box(f()));
         }
-        start.elapsed().as_nanos() as f64 / iters as f64
+        let dt = clock.now_ns().saturating_sub(start);
+        (dt as f64 / iters as f64, cycles)
     };
 
-    run_batch(&mut f); // warmup: touch caches, JIT the page tables in
+    run_batch(f, clock); // warmup: touch caches, JIT the page tables in
 
-    let mut per_iter: Vec<f64> = (0..SAMPLES).map(|_| run_batch(&mut f)).collect();
+    let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES);
+    let mut batch_cycles = 0u64;
+    for _ in 0..SAMPLES {
+        let (ns, cycles) = run_batch(f, clock);
+        per_iter.push(ns);
+        batch_cycles = cycles;
+    }
     per_iter.sort_by(|a, b| a.total_cmp(b));
     let median_ns = per_iter[SAMPLES / 2];
     let mean_ns = per_iter.iter().sum::<f64>() / SAMPLES as f64;
@@ -72,7 +113,50 @@ pub fn bench_fn<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) -> BenchRes
         min_ns: per_iter[0],
         max_ns: per_iter[SAMPLES - 1],
         mean_ns,
+        sim_cycles_per_iter: track_cycles.then(|| batch_cycles as f64 / iters as f64),
     }
+}
+
+/// Times `f` over `iters` iterations per batch against the real wall
+/// clock: one untimed warmup batch, then [`SAMPLES`] timed batches,
+/// reporting the median (robust against scheduler noise), min, max,
+/// and mean per-iteration time.
+///
+/// The closure's return value is passed through [`std::hint::black_box`]
+/// so the work is not optimized away.
+///
+/// # Panics
+/// Panics if `iters` is zero.
+pub fn bench_fn<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) -> BenchResult {
+    bench_fn_with(name, iters, &mut RealClock::new(), &mut f)
+}
+
+/// [`bench_fn`] against an injected [`HostClock`] — the seam that lets
+/// tests time against a deterministic mock.
+///
+/// # Panics
+/// Panics if `iters` is zero.
+pub fn bench_fn_with<T>(
+    name: &str,
+    iters: u64,
+    clock: &mut dyn HostClock,
+    f: &mut impl FnMut() -> T,
+) -> BenchResult {
+    let mut wrapped = || {
+        std::hint::black_box(f());
+        0u64
+    };
+    bench_inner(name, iters, clock, &mut wrapped, false)
+}
+
+/// Times a workload that reports its simulated cycles: `f` returns the
+/// cycles one iteration advanced, and the result additionally carries
+/// `sim_cycles_per_iter` + derived `sim_mcycles_per_sec`.
+///
+/// # Panics
+/// Panics if `iters` is zero.
+pub fn bench_fn_cycles(name: &str, iters: u64, mut f: impl FnMut() -> u64) -> BenchResult {
+    bench_inner(name, iters, &mut RealClock::new(), &mut f, true)
 }
 
 /// Collects [`BenchResult`]s across a bench binary and serializes them
@@ -93,6 +177,16 @@ impl BenchSuite {
     /// the result.
     pub fn run<T>(&mut self, name: &str, iters: u64, f: impl FnMut() -> T) -> &BenchResult {
         let r = bench_fn(name, iters, f);
+        println!("{}", r.json_line());
+        self.results.push(r);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Like [`BenchSuite::run`], for workloads that report simulated
+    /// cycles per iteration: records simulation throughput alongside
+    /// the timing.
+    pub fn run_cycles(&mut self, name: &str, iters: u64, f: impl FnMut() -> u64) -> &BenchResult {
+        let r = bench_fn_cycles(name, iters, f);
         println!("{}", r.json_line());
         self.results.push(r);
         self.results.last().expect("just pushed")
@@ -132,6 +226,7 @@ impl BenchSuite {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mesa_trace::MockClock;
 
     #[test]
     fn bench_fn_measures_and_orders_stats() {
@@ -140,6 +235,7 @@ mod tests {
         assert_eq!(r.samples, SAMPLES);
         assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
         assert!(r.min_ns >= 0.0);
+        assert_eq!(r.sim_cycles_per_iter, None);
     }
 
     #[test]
@@ -149,17 +245,48 @@ mod tests {
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"name\":\"codec/decode\""));
         assert!(line.contains("\"median_ns\":"));
+        assert!(!line.contains("sim_cycles_per_iter"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn mock_clock_timing_is_deterministic() {
+        // Each batch reads the clock twice, so per-iteration time is
+        // exactly step_ns / iters regardless of the actual work.
+        let run = || {
+            let mut clock = MockClock::new(1_000);
+            bench_fn_with("mock", 10, &mut clock, &mut || 7u64)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!((a.median_ns - 100.0).abs() < f64::EPSILON);
+        assert_eq!(a.min_ns, a.max_ns, "mock batches are identical");
+        assert_eq!(a.json_line(), b.json_line());
+    }
+
+    #[test]
+    fn cycle_reporting_benches_record_throughput() {
+        let r = bench_fn_cycles("engine/fake", 8, || 1_000u64);
+        assert_eq!(r.sim_cycles_per_iter, Some(1_000.0));
+        let line = r.json_line();
+        assert!(line.contains("\"sim_cycles_per_iter\":1000.0"));
+        if r.median_ns > 0.0 {
+            let rate = r.sim_mcycles_per_sec().expect("cycles and time present");
+            assert!(rate.is_finite() && rate > 0.0);
+            assert!(line.contains("\"sim_mcycles_per_sec\":"));
+        }
     }
 
     #[test]
     fn suite_collects_and_serializes() {
         let mut suite = BenchSuite::new();
         suite.run("a", 10, || 1);
-        suite.run("b", 10, || 2);
+        suite.run_cycles("b", 10, || 2u64);
         let json = suite.to_json();
         assert!(json.starts_with("[\n") && json.trim_end().ends_with(']'));
         assert_eq!(json.matches("\"name\"").count(), 2);
+        assert_eq!(json.matches("sim_cycles_per_iter").count(), 1);
         assert_eq!(suite.results().len(), 2);
     }
 

@@ -1,0 +1,270 @@
+//! Counting global allocator: allocation/byte/peak accounting for host
+//! profiles.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and maintains four
+//! process-global saturating counters — allocations, total bytes
+//! requested, current live bytes, and peak live bytes (an RSS proxy).
+//! Binaries opt in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mesa_trace::CountingAlloc = mesa_trace::CountingAlloc;
+//! ```
+//!
+//! and the counters stay inert (one relaxed atomic load per allocation)
+//! until [`set_counting`] turns them on — typically alongside
+//! `--host-profile`. The host profiler snapshots [`stats`] at span
+//! boundaries to attribute per-span allocation deltas.
+//!
+//! This module is the crate's only `unsafe` code: the `GlobalAlloc`
+//! impl must be `unsafe` by its contract, and it delegates every
+//! allocation verbatim to `System`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Saturating add on a counter (a u64 byte counter can wrap only after
+/// ~16 EiB of traffic, but the export contract promises monotone,
+/// never-wrapping counters, so saturate explicitly).
+fn saturating_add(counter: &AtomicU64, delta: u64) {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(delta);
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn record_alloc(size: u64) {
+    saturating_add(&ALLOCATIONS, 1);
+    saturating_add(&TOTAL_BYTES, size);
+    let mut cur = CURRENT_BYTES.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(size);
+        match CURRENT_BYTES.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                // Peak is a monotone max; racing updates can only lose
+                // to a larger value, which is fine.
+                let mut peak = PEAK_BYTES.load(Ordering::Relaxed);
+                while next > peak {
+                    match PEAK_BYTES.compare_exchange_weak(
+                        peak,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => peak = seen,
+                    }
+                }
+                return;
+            }
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn record_dealloc(size: u64) {
+    let mut cur = CURRENT_BYTES.load(Ordering::Relaxed);
+    loop {
+        // Frees of blocks allocated before counting was enabled would
+        // otherwise underflow; clamp at zero.
+        let next = cur.saturating_sub(size);
+        match CURRENT_BYTES.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and counts
+/// allocations/bytes/peak while [`counting`] is on.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+#[allow(unsafe_code)]
+// SAFETY: every method delegates verbatim to `System`, which upholds
+// the `GlobalAlloc` contract; the counter updates are lock- and
+// allocation-free (plain atomics), so they cannot re-enter the
+// allocator or violate its requirements.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded unchanged; caller upholds `layout` validity.
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() && COUNTING.load(Ordering::Relaxed) {
+            record_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if COUNTING.load(Ordering::Relaxed) {
+            record_dealloc(layout.size() as u64);
+        }
+        // SAFETY: forwarded unchanged; caller guarantees `ptr` came
+        // from this allocator with this `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded unchanged; caller upholds the realloc
+        // contract (`ptr`/`layout` valid, `new_size` nonzero).
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() && COUNTING.load(Ordering::Relaxed) {
+            // Count a grow as a fresh allocation of the delta; a shrink
+            // releases the difference.
+            let old = layout.size() as u64;
+            let new = new_size as u64;
+            if new >= old {
+                record_alloc(new - old);
+            } else {
+                record_dealloc(old - new);
+            }
+        }
+        new_ptr
+    }
+}
+
+/// Snapshot of the process-global allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Whether counting was on when this snapshot was taken.
+    pub enabled: bool,
+    /// Allocations observed (saturating).
+    pub allocations: u64,
+    /// Total bytes requested across all allocations (saturating).
+    pub total_bytes: u64,
+    /// Live bytes right now (allocated minus freed, clamped at zero).
+    pub current_bytes: u64,
+    /// High-water mark of live bytes — a peak-RSS proxy.
+    pub peak_bytes: u64,
+}
+
+impl AllocStats {
+    /// Field-wise max fold. Used when merging profiles from the same
+    /// process: each snapshot reads the same global counters, so the
+    /// largest reading is the most recent — summing would double-count.
+    pub fn merge_max(&mut self, other: &AllocStats) {
+        self.enabled |= other.enabled;
+        self.allocations = self.allocations.max(other.allocations);
+        self.total_bytes = self.total_bytes.max(other.total_bytes);
+        self.current_bytes = self.current_bytes.max(other.current_bytes);
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+    }
+}
+
+/// Turns allocation counting on or off process-wide. Counting is off
+/// by default so the wrapper costs one relaxed load per allocation.
+pub fn set_counting(on: bool) {
+    COUNTING.store(on, Ordering::Relaxed);
+}
+
+/// Whether allocation counting is currently on.
+#[must_use]
+pub fn counting() -> bool {
+    COUNTING.load(Ordering::Relaxed)
+}
+
+/// Reads the current counter values.
+#[must_use]
+pub fn stats() -> AllocStats {
+    AllocStats {
+        enabled: counting(),
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        total_bytes: TOTAL_BYTES.load(Ordering::Relaxed),
+        current_bytes: CURRENT_BYTES.load(Ordering::Relaxed),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets every counter to zero (test hook; counting state is kept).
+pub fn reset() {
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+    TOTAL_BYTES.store(0, Ordering::Relaxed);
+    CURRENT_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tests poke the counter arithmetic directly rather than
+    // installing the allocator (the test binary keeps the default
+    // global allocator; the figures/soak binaries install ours). The
+    // counters are process-global, so tests that touch them serialize
+    // on a lock.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        reset();
+        saturating_add(&TOTAL_BYTES, u64::MAX - 10);
+        saturating_add(&TOTAL_BYTES, 100);
+        assert_eq!(TOTAL_BYTES.load(Ordering::Relaxed), u64::MAX);
+        saturating_add(&ALLOCATIONS, u64::MAX);
+        saturating_add(&ALLOCATIONS, 1);
+        assert_eq!(ALLOCATIONS.load(Ordering::Relaxed), u64::MAX);
+        reset();
+    }
+
+    #[test]
+    fn dealloc_of_precounting_block_clamps_at_zero() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        reset();
+        record_dealloc(4096);
+        assert_eq!(CURRENT_BYTES.load(Ordering::Relaxed), 0);
+        reset();
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        reset();
+        record_alloc(1000);
+        record_alloc(500);
+        record_dealloc(1200);
+        record_alloc(100);
+        let s = stats();
+        assert_eq!(s.current_bytes, 400);
+        assert_eq!(s.peak_bytes, 1500);
+        assert!(s.peak_bytes >= s.current_bytes);
+        assert_eq!(s.allocations, 3);
+        assert_eq!(s.total_bytes, 1600);
+        reset();
+    }
+
+    #[test]
+    fn merge_max_takes_latest_snapshot() {
+        let mut a = AllocStats {
+            enabled: true,
+            allocations: 10,
+            total_bytes: 1000,
+            current_bytes: 100,
+            peak_bytes: 800,
+        };
+        let b = AllocStats {
+            enabled: true,
+            allocations: 25,
+            total_bytes: 2500,
+            current_bytes: 50,
+            peak_bytes: 900,
+        };
+        a.merge_max(&b);
+        assert_eq!(a.allocations, 25);
+        assert_eq!(a.total_bytes, 2500);
+        assert_eq!(a.current_bytes, 100);
+        assert_eq!(a.peak_bytes, 900);
+    }
+}

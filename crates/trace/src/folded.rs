@@ -1,0 +1,191 @@
+//! Exporters for [`HostProfile`]: the `"schema":"mesa.hostprofile/v1"`
+//! JSON document and the folded-stack text format that flamegraph /
+//! speedscope / `inferno` consume directly.
+//!
+//! Both exports are byte-deterministic for a deterministic profile
+//! (mock clock): spans serialize in DFS pre-order with
+//! `;`-joined paths, gauges in key order, and every floating-point
+//! field goes through [`fmt_gauge`] (finite → `{:.3}`, else `null`).
+//!
+//! Conservation is part of the schema: for every span,
+//! `self_ns + Σ direct-child total_ns == total_ns` exactly, the
+//! document's `total_ns` is the sum of the root spans' totals, and the
+//! folded export's sample values are exactly the `self_ns` fields — so
+//! `Σ folded == total_ns`. `tracecheck hostprofile` re-derives all
+//! three identities.
+
+use crate::export::json_string;
+use crate::host::{fmt_gauge, HostProfile, HostSpan};
+use std::fmt::Write as _;
+
+impl HostProfile {
+    /// Renders the stable `"schema":"mesa.hostprofile/v1"` JSON
+    /// export. Field order is part of the schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"mesa.hostprofile/v1\"");
+        let total = self.total_ns();
+        let _ = write!(
+            out,
+            ",\"clock\":\"{}\",\"wall_ns\":{},\"total_ns\":{},\"sim_cycles\":{}",
+            self.clock,
+            self.wall_ns,
+            total,
+            self.sim_cycles()
+        );
+        let _ = write!(
+            out,
+            ",\"alloc\":{{\"enabled\":{},\"allocations\":{},\"total_bytes\":{},\"current_bytes\":{},\"peak_bytes\":{}}}",
+            self.alloc.enabled,
+            self.alloc.allocations,
+            self.alloc.total_bytes,
+            self.alloc.current_bytes,
+            self.alloc.peak_bytes
+        );
+        out.push_str(",\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), fmt_gauge(*value));
+        }
+        out.push_str("},\"spans\":[");
+        let mut first = true;
+        for root in &self.roots {
+            write_span_json(&mut out, root, "", &mut first);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the folded-stack text export: one `path value` line per
+    /// span with nonzero self time, where `path` is the
+    /// `;`-joined span stack and `value` is the span's exact
+    /// `self_ns`. Feed it to any flamegraph renderer
+    /// (`flamegraph.pl`, inferno, speedscope).
+    #[must_use]
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            write_span_folded(&mut out, root, "");
+        }
+        out
+    }
+}
+
+fn write_span_json(out: &mut String, span: &HostSpan, prefix: &str, first: &mut bool) {
+    let path = join_path(prefix, &span.name);
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let total = span.total_ns();
+    // Per-phase throughput gauge: simulated cycles per host second, in
+    // Mcycles/s (null when no sim cycles were attributed here).
+    let rate = if span.sim_cycles > 0 && total > 0 {
+        span.sim_cycles as f64 * 1e3 / total as f64
+    } else {
+        f64::NAN
+    };
+    let _ = write!(
+        out,
+        "{{\"path\":{},\"total_ns\":{},\"self_ns\":{},\"busy_ns\":{},\"calls\":{},\"sim_cycles\":{},\"sim_mcycles_per_sec\":{},\"alloc_count\":{},\"alloc_bytes\":{},\"dur\":{}}}",
+        json_string(&path),
+        total,
+        span.self_ns(),
+        span.busy_ns,
+        span.calls,
+        span.sim_cycles,
+        fmt_gauge(rate),
+        span.alloc_count,
+        span.alloc_bytes,
+        span.dur.to_json()
+    );
+    for child in &span.children {
+        write_span_json(out, child, &path, first);
+    }
+}
+
+fn write_span_folded(out: &mut String, span: &HostSpan, prefix: &str) {
+    let path = join_path(prefix, &span.name);
+    let self_ns = span.self_ns();
+    if self_ns > 0 {
+        let _ = writeln!(out, "{path} {self_ns}");
+    }
+    for child in &span.children {
+        write_span_folded(out, child, &path);
+    }
+}
+
+fn join_path(prefix: &str, name: &str) -> String {
+    // Semicolons delimit folded-stack frames; scrub them out of names.
+    let clean: String =
+        name.chars().map(|c| if c == ';' || c == '\n' { '_' } else { c }).collect();
+    if prefix.is_empty() {
+        clean
+    } else {
+        format!("{prefix};{clean}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{ClockSpec, HostProfiler};
+    use crate::export::validate_json;
+
+    fn sample_profile() -> HostProfile {
+        let mut prof = HostProfiler::from_spec(ClockSpec::Mock { step_ns: 100 });
+        prof.begin("episode");
+        prof.attribute_sim_cycles(5_000);
+        prof.begin("detect");
+        prof.end();
+        prof.begin("offload");
+        prof.attribute_sim_cycles(95_000);
+        prof.end();
+        prof.end();
+        prof.set_gauge("episodes_per_sec", 42.125);
+        prof.set_gauge("broken_ratio", f64::NAN);
+        prof.finish()
+    }
+
+    #[test]
+    fn json_export_is_well_formed_and_deterministic() {
+        let a = sample_profile().to_json();
+        let b = sample_profile().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"mesa.hostprofile/v1\""));
+        validate_json(&a).expect("well-formed JSON");
+        assert!(a.contains("\"path\":\"episode\""));
+        assert!(a.contains("\"path\":\"episode;offload\""));
+        assert!(a.contains("\"episodes_per_sec\":42.125"));
+        // Non-finite gauges serialize as null, keeping the finiteness
+        // scan in tracecheck happy.
+        assert!(a.contains("\"broken_ratio\":null"));
+        assert!(!a.contains("NaN"));
+    }
+
+    #[test]
+    fn folded_export_sums_exactly_to_total() {
+        let p = sample_profile();
+        let folded = p.to_folded();
+        let mut sum = 0u64;
+        for line in folded.lines() {
+            let (path, value) = line.rsplit_once(' ').expect("path value");
+            assert!(!path.is_empty());
+            sum += value.parse::<u64>().expect("numeric self_ns");
+        }
+        assert_eq!(sum, p.total_ns());
+        assert!(folded.contains("episode;detect "));
+    }
+
+    #[test]
+    fn semicolons_in_span_names_are_scrubbed() {
+        let mut prof = HostProfiler::from_spec(ClockSpec::Mock { step_ns: 10 });
+        prof.begin("weird;name");
+        prof.end();
+        let p = prof.finish();
+        assert!(p.to_folded().starts_with("weird_name "));
+        assert!(p.to_json().contains("\"path\":\"weird_name\""));
+    }
+}

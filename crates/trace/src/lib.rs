@@ -13,6 +13,10 @@
 //!    simulated-cycle timestamp supplied by the caller, so traces are a
 //!    pure function of the simulated execution and two runs of the same
 //!    kernel with the same `MESA_TEST_SEED` produce byte-identical output.
+//!    (The [`host`] module is the one sanctioned exception: it profiles
+//!    the *simulator's own* wall-clock time behind a [`HostClock`]
+//!    abstraction, and a CI grep gate keeps raw `Instant` reads from
+//!    appearing anywhere else in the workspace.)
 //! 2. **Zero dependencies.** Like the rest of the workspace, this crate
 //!    builds with an empty cargo registry; the exporters hand-serialize
 //!    JSON.
@@ -63,17 +67,27 @@
 //! assert!(mesa_trace::validate_chrome_trace(&chrome).is_ok());
 //! # let _ = (jsonl, summary);
 //! ```
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting global allocator in
+// [`alloc`] needs one `#[allow(unsafe_code)]` for its `GlobalAlloc`
+// impl (the trait is unsafe by contract); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod export;
 pub mod flight;
+pub mod folded;
 pub mod histogram;
+pub mod host;
 pub mod metrics;
 pub mod tracer;
 
+pub use alloc::{AllocStats, CountingAlloc};
 pub use export::{json_string, validate_chrome_trace, validate_json, ChromeTraceSummary};
 pub use flight::{FlightEvent, FlightRecorder, FLIGHT_LANE_CAPACITY};
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
+pub use host::{
+    ClockSpec, HostClock, HostProfile, HostProfiler, HostSpan, MockClock, RealClock, SpanGuard,
+};
 pub use metrics::{labeled_key, MetricsRegistry, MetricsSnapshot};
 pub use tracer::{Event, EventKind, NullTracer, RingTracer, Subsystem, Tracer};

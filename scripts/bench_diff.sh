@@ -49,3 +49,12 @@ cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
   fabric/nn_single_tenant_session_on_m128 \
   engine/nn_512_iterations_on_m128 \
   1.10
+
+# Host-profiler overhead gate, same-run pair (common-mode noise cancels):
+# a fully profiled offload episode must stay within 5% of the same
+# episode with the span profiler off.
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
+  "$fresh" \
+  host/offload_nn_on_m128_profiled \
+  host/offload_nn_on_m128_off \
+  1.05

@@ -30,6 +30,20 @@ if [[ "$panic_free_violations" != 0 ]]; then
 fi
 echo "panic-free gate: no unwrap/panic/unreachable in non-test core/accel sources"
 
+# Host-clock gate: `std::time::Instant`/`SystemTime` may only appear in
+# the HostClock module (crates/trace/src/host.rs, the one sanctioned
+# wall-clock seam). Everything else must take an injectable HostClock so
+# timing-sensitive code stays testable against the deterministic mock.
+instant_hits="$(grep -rnE 'std::time::(Instant|SystemTime)|Instant::now\(' \
+  src crates --include='*.rs' | grep -v '^crates/trace/src/host\.rs:' || true)"
+if [[ -n "$instant_hits" ]]; then
+  echo "ci: raw wall-clock use outside crates/trace/src/host.rs:" >&2
+  echo "$instant_hits" >&2
+  echo "ci: inject a mesa_trace::host::HostClock instead" >&2
+  exit 1
+fi
+echo "host-clock gate: no std::time::Instant outside the HostClock module"
+
 # Trace smoke test: capture a tiny nn offload episode and validate the
 # Chrome trace-event export (well-formed JSON, balanced spans, all
 # controller phases present).
@@ -40,7 +54,11 @@ fig_j2="$(mktemp -t mesa_fig_j2.XXXXXX.txt)"
 bench_tmp="$(mktemp -t mesa_bench.XXXXXX.json)"
 fleet_tmp="$(mktemp -t mesa_fleet.XXXXXX.json)"
 pm_tmp="$(mktemp -t mesa_postmortem.XXXXXX.json)"
-trap 'rm -f "$trace_tmp" "$trace_tmp.jsonl" "$profile_tmp" "$fig_j1" "$fig_j2" "$bench_tmp" "$fleet_tmp" "$pm_tmp"' EXIT
+host_j1="$(mktemp -t mesa_host_j1.XXXXXX.json)"
+host_j2="$(mktemp -t mesa_host_j2.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$trace_tmp.jsonl" "$profile_tmp" "$fig_j1" "$fig_j2" \
+  "$bench_tmp" "$fleet_tmp" "$pm_tmp" \
+  "$host_j1" "$host_j1.folded" "$host_j2" "$host_j2.folded"' EXIT
 cargo run --release --offline -q -p mesa-bench --bin figures -- trace tiny --trace "$trace_tmp"
 cargo run --release --offline -q -p mesa-bench --bin tracecheck -- chrome "$trace_tmp"
 
@@ -82,6 +100,20 @@ cargo run --release --offline -q -p mesa-bench --bin figures -- --jobs 2 all tin
 cmp "$fig_j1" "$fig_j2"
 echo "figures --jobs 1 and --jobs 2 outputs are byte-identical"
 
+# Host-profile smoke: a figures subset under the deterministic mock
+# clock must emit a valid mesa.hostprofile/v1 export (exact span-tree
+# time conservation, folded stacks tiling the total) that is
+# byte-identical at any worker count.
+cargo run --release --offline -q -p mesa-bench --bin figures -- \
+  --host-profile="$host_j1" --host-clock mock --jobs 1 fig11 tiny > /dev/null 2>&1
+cargo run --release --offline -q -p mesa-bench --bin figures -- \
+  --host-profile="$host_j2" --host-clock mock --jobs 2 fig11 tiny > /dev/null 2>&1
+cmp "$host_j1" "$host_j2"
+cmp "$host_j1.folded" "$host_j2.folded"
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- hostprofile \
+  "$host_j1" "$host_j1.folded"
+echo "host-profile smoke: mock-clock export is conserved and --jobs invariant"
+
 # Bench gates, on a fresh suite run written to a temp file (CI never
 # overwrites the committed BENCH_components.json baseline; refresh it
 # deliberately with `scripts/bench_diff.sh --refresh`).
@@ -111,7 +143,16 @@ cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
   engine/nn_512_iterations_on_m128 \
   1.10
 
-# (3) No component's median may regress past MAX_RATIO of the committed
+# (3) The host span profiler must be effectively free when wrapped
+#     around a full offload episode: profiled vs unprofiled from the
+#     same run, within 5%.
+cargo run --release --offline -q -p mesa-bench --bin tracecheck -- benchgate \
+  "$bench_tmp" \
+  host/offload_nn_on_m128_profiled \
+  host/offload_nn_on_m128_off \
+  1.05
+
+# (4) No component's median may regress past MAX_RATIO of the committed
 #     baseline (bench_diff.sh's 1.15 default is for quiet machines), and
 #     the fabric virtualization benches get a tighter leash
 #     (FABRIC_MAX_RATIO, default 1.05): the telemetry instrumentation

@@ -143,6 +143,92 @@ fn histogram_merge_is_associative_and_matches_whole() {
     });
 }
 
+/// Span names the host-profiler properties draw from.
+const HOST_NAMES: [&str; 4] = ["detect", "translate", "map", "offload"];
+
+/// Drives a [`mesa::trace::host::HostProfiler`] through a seed-derived
+/// interleaving of begin/end/sim-cycle ops plus two adopted "worker"
+/// profiles (as the parallel figures pool produces), then finishes it.
+fn random_host_profile(seed: u64, ops: usize) -> mesa::trace::host::HostProfile {
+    use mesa::trace::host::{ClockSpec, HostProfiler};
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut prof = HostProfiler::from_spec(ClockSpec::Mock { step_ns: 17 });
+    let mut depth = 0usize;
+    for _ in 0..ops {
+        match rng.gen_range(0..4u32) {
+            0 if depth > 0 => {
+                prof.end();
+                depth -= 1;
+            }
+            1 => prof.attribute_sim_cycles(rng.gen_range(0..1_000u64)),
+            _ => {
+                prof.begin(HOST_NAMES[rng.gen_range(0..HOST_NAMES.len())]);
+                depth += 1;
+            }
+        }
+    }
+    // Worker profiles merge under whatever span is open at adoption
+    // time — a worker's span sum can exceed the parent's own wall time,
+    // and conservation must survive that (max-of-busy-and-children).
+    for step_ns in [3u64, 251] {
+        let mut worker = HostProfiler::from_spec(ClockSpec::Mock { step_ns });
+        worker.begin("episode");
+        worker.begin("map");
+        worker.attribute_sim_cycles(rng.gen_range(0..1_000u64));
+        worker.end();
+        prof.adopt(&worker.finish());
+    }
+    prof.set_gauge("episodes_per_sec", 42.0);
+    // `finish` closes whatever is still open, innermost first.
+    prof.finish()
+}
+
+/// The host span tree conserves wall time **exactly** at every level:
+/// each span's total is its self time plus its children's totals, the
+/// roots sum to the profile total, and the folded-stack export tiles
+/// that same total to the nanosecond — the invariants `tracecheck
+/// hostprofile` enforces on exported artifacts.
+#[test]
+fn host_span_tree_conserves_time_exactly() {
+    forall!(checker("trace::host_conservation"), |(seed in 0u64..1_000_000, ops in 4usize..64)| {
+        let profile = random_host_profile(seed, ops);
+        let mut stack: Vec<&mesa::trace::host::HostSpan> = profile.roots.iter().collect();
+        while let Some(span) = stack.pop() {
+            let children: u64 = span.children.iter().map(mesa::trace::host::HostSpan::total_ns).sum();
+            prop_assert_eq!(span.self_ns() + children, span.total_ns());
+            prop_assert!(span.busy_ns <= span.total_ns());
+            stack.extend(span.children.iter());
+        }
+        let roots: u64 = profile.roots.iter().map(mesa::trace::host::HostSpan::total_ns).sum();
+        prop_assert_eq!(roots, profile.total_ns());
+        let folded_sum: u64 = profile
+            .to_folded()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.rsplit_once(' ').expect("path count").1.parse::<u64>().expect("count"))
+            .sum();
+        prop_assert_eq!(folded_sum, profile.total_ns());
+    });
+}
+
+/// Host-profile exports under the mock clock are byte-deterministic:
+/// rebuilding the same op sequence (including in-order worker adoption,
+/// as `--jobs N` does) yields byte-identical `mesa.hostprofile/v1` JSON
+/// and folded stacks, and the JSON is well-formed.
+#[test]
+fn host_profile_export_is_byte_deterministic_under_mock_clock() {
+    forall!(checker("trace::host_export_determinism"), |(seed in 0u64..1_000_000, ops in 4usize..48)| {
+        let a = random_host_profile(seed, ops);
+        let b = random_host_profile(seed, ops);
+        let json = a.to_json();
+        prop_assert_eq!(&json, &b.to_json());
+        prop_assert_eq!(a.to_folded(), b.to_folded());
+        prop_assert!(json.contains("\"schema\":\"mesa.hostprofile/v1\""));
+        prop_assert!(json.contains("\"clock\":\"mock\""));
+        mesa::trace::validate_json(&json).expect("hostprofile JSON is well-formed");
+    });
+}
+
 /// Arbitrary interleavings of span opens/closes (as a simulation layer
 /// would produce them) leave the tracer balanced once every open span is
 /// closed, and the exported Chrome trace stays well-formed.
